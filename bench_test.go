@@ -1,0 +1,145 @@
+// Package rnknn's benchmark suite regenerates every table and figure of the
+// paper's evaluation: each Benchmark below runs one experiment id from
+// internal/exp at full harness scale and prints its tables. Networks and
+// indexes are cached process-wide, so a full `go test -bench=.` builds each
+// index once, then measures (the index-construction experiments fig8/fig26
+// time the builds themselves).
+//
+// Micro-benchmarks at the bottom cover the Section 6.2 data-structure
+// choices (priority queue without decrease-key; bit-array settled
+// container) independently of any kNN method.
+package rnknn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rnknn/internal/bitset"
+	"rnknn/internal/exp"
+	"rnknn/internal/gen"
+	"rnknn/internal/pqueue"
+)
+
+// benchCfg is the full-scale harness configuration used by every experiment
+// benchmark. Lower Queries via -short if needed.
+var benchCfg = exp.Config{Queries: 100, Scale: 1.0, Seed: 42}
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(id, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printOnce.LoadOrStore(id, true); !done {
+			for _, t := range tables {
+				fmt.Println(t)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTable2Objects(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkFig4IERVariants(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig6DistanceMatrix(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7INEAblation(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig8IndexBuild(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9NetworkSize(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10VaryingK(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFig11VaryingDensity(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12Clusters(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkFig13RealPOIs(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14MinObjDist(b *testing.B)       { benchExperiment(b, "fig14") }
+func BenchmarkFig15RealPOIsK(b *testing.B)        { benchExperiment(b, "fig15") }
+func BenchmarkFig16OriginalSettings(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17TravelTime(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18ObjectIndexes(b *testing.B)    { benchExperiment(b, "fig18") }
+func BenchmarkFig19DBENN(b *testing.B)            { benchExperiment(b, "fig19") }
+func BenchmarkFig20Deg2Chains(b *testing.B)       { benchExperiment(b, "fig20") }
+func BenchmarkFig22LeafSearch(b *testing.B)       { benchExperiment(b, "fig22") }
+func BenchmarkFig23IERTravelTime(b *testing.B)    { benchExperiment(b, "fig23") }
+func BenchmarkFig24TravelTimeNW(b *testing.B)     { benchExperiment(b, "fig24") }
+func BenchmarkFig25TravelTimePOIs(b *testing.B)   { benchExperiment(b, "fig25") }
+func BenchmarkFig26TravelTimeBuild(b *testing.B)  { benchExperiment(b, "fig26") }
+func BenchmarkTable5Ranking(b *testing.B)         { benchExperiment(b, "table5") }
+
+// --- Section 6.2 micro-ablations ---
+
+// BenchmarkPQueueDuplicates measures the paper's recommended duplicate-
+// tolerant binary heap under a Dijkstra-like push/pop mix.
+func BenchmarkPQueueDuplicates(b *testing.B) {
+	q := pqueue.NewQueue(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		for j := 0; j < 1000; j++ {
+			q.Push(int32(j%257), int64((j*2654435761)%100000))
+			if j%3 == 0 && !q.Empty() {
+				q.Pop()
+			}
+		}
+		for !q.Empty() {
+			q.Pop()
+		}
+	}
+}
+
+// BenchmarkPQueueDecreaseKey measures the indexed decrease-key heap on the
+// same mix (the choice the paper rejects for road networks).
+func BenchmarkPQueueDecreaseKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q := pqueue.NewIndexedQueue(1024)
+		for j := 0; j < 1000; j++ {
+			q.PushOrDecrease(int32(j%257), int64((j*2654435761)%100000))
+			if j%3 == 0 && !q.Empty() {
+				q.Pop()
+			}
+		}
+		for !q.Empty() {
+			q.Pop()
+		}
+	}
+}
+
+// BenchmarkSettledBitset and BenchmarkSettledMap compare the settled-vertex
+// containers of Section 6.2 choice 2 over a fixed visit pattern.
+func BenchmarkSettledBitset(b *testing.B) {
+	s := bitset.New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		for j := uint32(0); j < 20000; j++ {
+			v := int32((j * 2654435761) & (1<<20 - 1))
+			if !s.Get(v) {
+				s.Set(v)
+			}
+		}
+	}
+}
+
+func BenchmarkSettledMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := make(map[int32]bool)
+		for j := uint32(0); j < 20000; j++ {
+			v := int32((j * 2654435761) & (1<<20 - 1))
+			if !s[v] {
+				s[v] = true
+			}
+		}
+	}
+}
+
+// BenchmarkNetworkGeneration tracks the generator itself so dataset setup
+// cost is visible in benchmark output.
+func BenchmarkNetworkGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := gen.Network(gen.NetworkSpec{Name: "bench", Rows: 48, Cols: 60, Seed: int64(i)})
+		if g.NumVertices() == 0 {
+			b.Fatal("empty network")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command gendata generates the synthetic dataset ladder and prints its
+// statistics (the Table 1 / Table 2 analogues), for inspecting what the
+// experiment harness runs on.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+)
+
+func main() {
+	var (
+		name = flag.String("network", "", "single ladder network to describe (default: all)")
+		pois = flag.Bool("pois", false, "also list POI categories per network")
+	)
+	flag.Parse()
+
+	specs := gen.Ladder()
+	if *name != "" {
+		spec, ok := gen.LadderSpec(*name)
+		if !ok {
+			fmt.Println("unknown network; ladder:", names(specs))
+			return
+		}
+		specs = []gen.NetworkSpec{spec}
+	}
+	fmt.Printf("%-5s %10s %10s %12s %12s\n", "name", "|V|", "|E|", "deg<=2", "fast edges")
+	for _, spec := range specs {
+		g := gen.Network(spec)
+		fmt.Printf("%-5s %10d %10d %11.1f%% %11.1f%%\n",
+			spec.Name, g.NumVertices(), g.NumEdges()/2,
+			g.ChainFraction()*100, fastEdgeFraction(g)*100)
+		if *pois {
+			for _, c := range gen.POICategories(g, 42) {
+				fmt.Println("   ", gen.Describe(c.Name, g, c.Vertices))
+			}
+		}
+	}
+}
+
+// fastEdgeFraction reports the share of edges faster than local speed
+// (travel time below distance*timeScale/1.5), the highway/arterial tier.
+func fastEdgeFraction(g *graph.Graph) float64 {
+	fast := 0
+	for i := range g.DistW {
+		if float64(g.TimeW[i]) < float64(g.DistW[i])*4.0/1.5 {
+			fast++
+		}
+	}
+	return float64(fast) / float64(len(g.DistW))
+}
+
+func names(specs []gen.NetworkSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Command knnexp runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	knnexp -list
+//	knnexp -exp fig10
+//	knnexp -exp all -queries 200 -scale 0.5
+//
+// Each experiment id corresponds to a table or figure of the paper; see
+// DESIGN.md for the index and EXPERIMENTS.md for recorded outcomes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rnknn/internal/exp"
+)
+
+func main() {
+	var (
+		id      = flag.String("exp", "", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		queries = flag.Int("queries", 0, "queries per measurement (default 100)")
+		scale   = flag.Float64("scale", 0, "network scale factor (default 1.0)")
+		seed    = flag.Int64("seed", 0, "workload seed (default 42)")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		titles := exp.Titles()
+		fmt.Println("experiments:")
+		for _, e := range exp.IDs() {
+			fmt.Printf("  %-8s %s\n", e, titles[e])
+		}
+		if *id == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	cfg := exp.Config{Queries: *queries, Scale: *scale, Seed: *seed}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	for _, e := range ids {
+		start := time.Now()
+		tables, err := exp.Run(e, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("(%s took %s)\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,58 @@
+// Package bitset provides the bit-array settled-vertex container recommended
+// by the paper for expansion-based searches (Section 6.2, choice 2): one bit
+// per road-network vertex, allocated per query, occupying 32x less space
+// than an int array and far less than a hash set.
+package bitset
+
+// Set is a fixed-capacity bit set over [0, n).
+type Set struct {
+	words []uint64
+}
+
+// New returns a Set able to hold n bits, all clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64)}
+}
+
+// Set marks bit i.
+func (s *Set) Set(i int32) {
+	s.words[uint32(i)>>6] |= 1 << (uint32(i) & 63)
+}
+
+// Get reports whether bit i is marked.
+func (s *Set) Get(i int32) bool {
+	return s.words[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}
+
+// Clear unmarks bit i.
+func (s *Set) Clear(i int32) {
+	s.words[uint32(i)>>6] &^= 1 << (uint32(i) & 63)
+}
+
+// Reset clears all bits, retaining capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += popcount(w)
+	}
+	return c
+}
+
+// Capacity returns the number of bits the set can hold.
+func (s *Set) Capacity() int { return len(s.words) * 64 }
+
+func popcount(x uint64) int {
+	// Hacker's Delight bit-twiddling population count; avoids math/bits only
+	// for no reason, so use the simple loop-free version.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

@@ -1,0 +1,65 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int32{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Clear(64)
+	if s.Get(64) || s.Count() != 7 {
+		t.Fatalf("Clear failed: get=%v count=%d", s.Get(64), s.Count())
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if c := New(1).Capacity(); c != 64 {
+		t.Fatalf("Capacity(1) = %d", c)
+	}
+	if c := New(64).Capacity(); c != 64 {
+		t.Fatalf("Capacity(64) = %d", c)
+	}
+	if c := New(65).Capacity(); c != 128 {
+		t.Fatalf("Capacity(65) = %d", c)
+	}
+}
+
+func TestCountMatchesModelProperty(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		model := map[uint16]bool{}
+		for _, i := range idx {
+			s.Set(int32(i))
+			model[i] = true
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for i := range model {
+			if !s.Get(int32(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package ch implements Contraction Hierarchies (Geisberger et al.), one of
+// the fast shortest-path techniques the paper composes with IER (Section 5,
+// Figure 4). Vertices are contracted in importance order (lazy edge-
+// difference heuristic with witness searches); queries run a bidirectional
+// Dijkstra over upward edges only.
+package ch
+
+import (
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+	"rnknn/internal/pqueue"
+)
+
+// Index is a built contraction hierarchy.
+type Index struct {
+	g *graph.Graph
+	// rank[v] is v's contraction order (higher = more important).
+	rank []int32
+	// Upward adjacency in CSR form: for every (original or shortcut) edge
+	// {u,v}, the lower-ranked endpoint points to the higher-ranked one.
+	upOff []int32
+	upTo  []int32
+	upW   []int32
+	// Shortcuts counts the shortcut edges added during preprocessing.
+	Shortcuts int
+
+	// Reusable query state.
+	distF, distB   []graph.Dist
+	stampF, stampB []uint32
+	cur            uint32
+	qf, qb         *pqueue.Queue
+
+	// Reusable upward-search state (separate from query state so index
+	// construction helpers do not disturb in-flight queries).
+	distU  []graph.Dist
+	stampU []uint32
+	curU   uint32
+	qu     *pqueue.Queue
+}
+
+// Name implements knn.DistanceOracle.
+func (x *Index) Name() string { return "CH" }
+
+// Rank returns the contraction rank of v (higher contracted later; used by
+// TNR to pick transit nodes).
+func (x *Index) Rank(v int32) int32 { return x.rank[v] }
+
+// dynEdge is a working-graph edge during contraction.
+type dynEdge struct {
+	to int32
+	w  int32
+}
+
+// Build contracts g into a hierarchy.
+func Build(g *graph.Graph) *Index {
+	n := g.NumVertices()
+	x := &Index{g: g, rank: make([]int32, n)}
+
+	// Mutable working graph: remaining adjacency among uncontracted
+	// vertices, starting from the original edges.
+	adj := make([][]dynEdge, n)
+	for v := int32(0); v < int32(n); v++ {
+		ts, ws := g.Neighbors(v)
+		adj[v] = make([]dynEdge, len(ts))
+		for i := range ts {
+			adj[v][i] = dynEdge{ts[i], ws[i]}
+		}
+	}
+	contracted := make([]bool, n)
+	deleted := make([]int16, n) // contracted neighbors heuristic term
+
+	// allEdges accumulates original + shortcut edges for the upward graph.
+	type fullEdge struct {
+		u, v int32
+		w    int32
+	}
+	var all []fullEdge
+	for v := int32(0); v < int32(n); v++ {
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if t > v {
+				all = append(all, fullEdge{v, t, ws[i]})
+			}
+		}
+	}
+
+	ws := newWitnessSearch(n)
+	simulate := func(v int32) (added int) {
+		return ws.shortcutsNeeded(adj, contracted, v, nil)
+	}
+	prio := func(v int32) int64 {
+		return int64(simulate(v)-len(remaining(adj[v], contracted)))*4 + int64(deleted[v])
+	}
+
+	q := pqueue.NewQueue(n)
+	for v := int32(0); v < int32(n); v++ {
+		q.Push(v, prio(v))
+	}
+	next := int32(0)
+	for !q.Empty() {
+		it := q.Pop()
+		v := it.ID
+		if contracted[v] {
+			continue
+		}
+		// Lazy update: re-evaluate; if no longer minimal, requeue.
+		p := prio(v)
+		if !q.Empty() && p > q.MinKey() {
+			q.Push(v, p)
+			continue
+		}
+		// Contract v: add needed shortcuts among uncontracted neighbors.
+		var shortcuts [][3]int32
+		ws.shortcutsNeeded(adj, contracted, v, func(u, t, w int32) {
+			shortcuts = append(shortcuts, [3]int32{u, t, w})
+		})
+		for _, sc := range shortcuts {
+			u, t, w := sc[0], sc[1], sc[2]
+			adj[u] = upsertEdge(adj[u], t, w)
+			adj[t] = upsertEdge(adj[t], u, w)
+			all = append(all, fullEdge{u, t, w})
+			x.Shortcuts++
+		}
+		contracted[v] = true
+		x.rank[v] = next
+		next++
+		for _, e := range adj[v] {
+			if !contracted[e.to] {
+				deleted[e.to]++
+			}
+		}
+	}
+
+	// Build the upward CSR: edge endpoints point from lower to higher rank.
+	deg := make([]int32, n+1)
+	for _, e := range all {
+		lo := e.u
+		if x.rank[e.v] < x.rank[e.u] {
+			lo = e.v
+		}
+		deg[lo+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	x.upOff = deg
+	m := int(x.upOff[n])
+	x.upTo = make([]int32, m)
+	x.upW = make([]int32, m)
+	pos := make([]int32, n)
+	copy(pos, x.upOff[:n])
+	for _, e := range all {
+		lo, hi := e.u, e.v
+		if x.rank[hi] < x.rank[lo] {
+			lo, hi = hi, lo
+		}
+		x.upTo[pos[lo]] = hi
+		x.upW[pos[lo]] = e.w
+		pos[lo]++
+	}
+
+	x.distF = make([]graph.Dist, n)
+	x.distB = make([]graph.Dist, n)
+	x.stampF = make([]uint32, n)
+	x.stampB = make([]uint32, n)
+	x.qf = pqueue.NewQueue(256)
+	x.qb = pqueue.NewQueue(256)
+	x.distU = make([]graph.Dist, n)
+	x.stampU = make([]uint32, n)
+	x.qu = pqueue.NewQueue(256)
+	return x
+}
+
+func remaining(es []dynEdge, contracted []bool) []dynEdge {
+	out := es[:0:0]
+	for _, e := range es {
+		if !contracted[e.to] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func upsertEdge(es []dynEdge, to, w int32) []dynEdge {
+	for i := range es {
+		if es[i].to == to {
+			if w < es[i].w {
+				es[i].w = w
+			}
+			return es
+		}
+	}
+	return append(es, dynEdge{to, w})
+}
+
+// witnessSearch is a bounded Dijkstra used to decide whether a shortcut
+// u -> t through the contracted vertex v is necessary.
+type witnessSearch struct {
+	dist  []graph.Dist
+	stamp []uint32
+	cur   uint32
+	q     *pqueue.Queue
+}
+
+func newWitnessSearch(n int) *witnessSearch {
+	return &witnessSearch{
+		dist:  make([]graph.Dist, n),
+		stamp: make([]uint32, n),
+		q:     pqueue.NewQueue(256),
+	}
+}
+
+// witnessSettleLimit bounds each witness search; a lower limit adds more
+// (harmless) shortcuts but speeds preprocessing.
+const witnessSettleLimit = 60
+
+// shortcutsNeeded counts (and via emit, reports) the shortcuts required to
+// contract v: for every pair of uncontracted neighbors (u, t) with path
+// u-v-t of weight w, a shortcut is needed unless a witness path of weight
+// <= w exists in the remaining graph avoiding v.
+func (ws *witnessSearch) shortcutsNeeded(adj [][]dynEdge, contracted []bool, v int32, emit func(u, t, w int32)) int {
+	var nbrs []dynEdge
+	for _, e := range adj[v] {
+		if !contracted[e.to] {
+			nbrs = append(nbrs, e)
+		}
+	}
+	count := 0
+	for i, eu := range nbrs {
+		// One witness Dijkstra from u bounded by the largest via weight.
+		var maxVia graph.Dist
+		for j, et := range nbrs {
+			if j == i {
+				continue
+			}
+			if via := graph.Dist(eu.w) + graph.Dist(et.w); via > maxVia {
+				maxVia = via
+			}
+		}
+		if maxVia == 0 {
+			continue
+		}
+		ws.run(adj, contracted, eu.to, v, maxVia)
+		for j, et := range nbrs {
+			if j <= i {
+				continue // each unordered pair once
+			}
+			via := graph.Dist(eu.w) + graph.Dist(et.w)
+			if ws.distOf(et.to) > via {
+				count++
+				if emit != nil {
+					emit(eu.to, et.to, int32(via))
+				}
+			}
+		}
+	}
+	return count
+}
+
+func (ws *witnessSearch) distOf(v int32) graph.Dist {
+	if ws.stamp[v] != ws.cur {
+		return graph.Inf
+	}
+	return ws.dist[v]
+}
+
+func (ws *witnessSearch) run(adj [][]dynEdge, contracted []bool, src, avoid int32, limit graph.Dist) {
+	ws.cur++
+	if ws.cur == 0 {
+		for i := range ws.stamp {
+			ws.stamp[i] = 0
+		}
+		ws.cur = 1
+	}
+	ws.q.Reset()
+	ws.dist[src] = 0
+	ws.stamp[src] = ws.cur
+	ws.q.Push(src, 0)
+	settled := 0
+	for !ws.q.Empty() && settled < witnessSettleLimit {
+		it := ws.q.Pop()
+		u := it.ID
+		d := graph.Dist(it.Key)
+		if d > ws.distOf(u) {
+			continue
+		}
+		if d > limit {
+			break
+		}
+		settled++
+		for _, e := range adj[u] {
+			if e.to == avoid || contracted[e.to] {
+				continue
+			}
+			nd := d + graph.Dist(e.w)
+			if nd < ws.distOf(e.to) {
+				ws.dist[e.to] = nd
+				ws.stamp[e.to] = ws.cur
+				ws.q.Push(e.to, int64(nd))
+			}
+		}
+	}
+}
+
+// Distance implements knn.DistanceOracle: a bidirectional upward Dijkstra.
+func (x *Index) Distance(s, t int32) graph.Dist {
+	if s == t {
+		return 0
+	}
+	x.cur++
+	if x.cur == 0 {
+		for i := range x.stampF {
+			x.stampF[i] = 0
+			x.stampB[i] = 0
+		}
+		x.cur = 1
+	}
+	x.qf.Reset()
+	x.qb.Reset()
+	x.setF(s, 0)
+	x.setB(t, 0)
+	x.qf.Push(s, 0)
+	x.qb.Push(t, 0)
+	best := graph.Inf
+	for !x.qf.Empty() || !x.qb.Empty() {
+		if min := graph.Dist(x.qf.MinKey()); !x.qf.Empty() && min < best {
+			it := x.qf.Pop()
+			v := it.ID
+			d := graph.Dist(it.Key)
+			if d == x.fOf(v) {
+				if bd := x.bOf(v); bd != graph.Inf && d+bd < best {
+					best = d + bd
+				}
+				for e := x.upOff[v]; e < x.upOff[v+1]; e++ {
+					u := x.upTo[e]
+					if nd := d + graph.Dist(x.upW[e]); nd < x.fOf(u) {
+						x.setF(u, nd)
+						x.qf.Push(u, int64(nd))
+					}
+				}
+			}
+		} else if !x.qf.Empty() {
+			x.qf.Reset()
+		}
+		if min := graph.Dist(x.qb.MinKey()); !x.qb.Empty() && min < best {
+			it := x.qb.Pop()
+			v := it.ID
+			d := graph.Dist(it.Key)
+			if d == x.bOf(v) {
+				if fd := x.fOf(v); fd != graph.Inf && d+fd < best {
+					best = d + fd
+				}
+				for e := x.upOff[v]; e < x.upOff[v+1]; e++ {
+					u := x.upTo[e]
+					if nd := d + graph.Dist(x.upW[e]); nd < x.bOf(u) {
+						x.setB(u, nd)
+						x.qb.Push(u, int64(nd))
+					}
+				}
+			}
+		} else if !x.qb.Empty() {
+			x.qb.Reset()
+		}
+	}
+	return best
+}
+
+func (x *Index) setF(v int32, d graph.Dist) { x.distF[v] = d; x.stampF[v] = x.cur }
+func (x *Index) setB(v int32, d graph.Dist) { x.distB[v] = d; x.stampB[v] = x.cur }
+
+func (x *Index) fOf(v int32) graph.Dist {
+	if x.stampF[v] != x.cur {
+		return graph.Inf
+	}
+	return x.distF[v]
+}
+
+func (x *Index) bOf(v int32) graph.Dist {
+	if x.stampB[v] != x.cur {
+		return graph.Inf
+	}
+	return x.distB[v]
+}
+
+// UpwardSearch runs a full upward Dijkstra from s, invoking visit for every
+// settled vertex with its upward distance. When pruneAt returns true for a
+// settled vertex, its edges are not relaxed (the vertex is reported but the
+// search does not continue through it). TNR uses this for access-node and
+// local-cone computation.
+func (x *Index) UpwardSearch(s int32, pruneAt func(v int32) bool, visit func(v int32, d graph.Dist)) {
+	x.curU++
+	if x.curU == 0 {
+		for i := range x.stampU {
+			x.stampU[i] = 0
+		}
+		x.curU = 1
+	}
+	uOf := func(v int32) graph.Dist {
+		if x.stampU[v] != x.curU {
+			return graph.Inf
+		}
+		return x.distU[v]
+	}
+	x.qu.Reset()
+	x.distU[s] = 0
+	x.stampU[s] = x.curU
+	x.qu.Push(s, 0)
+	for !x.qu.Empty() {
+		it := x.qu.Pop()
+		v := it.ID
+		d := graph.Dist(it.Key)
+		if d > uOf(v) {
+			continue
+		}
+		visit(v, d)
+		if pruneAt != nil && pruneAt(v) {
+			continue
+		}
+		for e := x.upOff[v]; e < x.upOff[v+1]; e++ {
+			u := x.upTo[e]
+			nd := d + graph.Dist(x.upW[e])
+			if nd < uOf(u) {
+				x.distU[u] = nd
+				x.stampU[u] = x.curU
+				x.qu.Push(u, int64(nd))
+			}
+		}
+	}
+}
+
+// SizeBytes estimates the index footprint.
+func (x *Index) SizeBytes() int {
+	return len(x.rank)*4 + len(x.upOff)*4 + len(x.upTo)*4 + len(x.upW)*4
+}
+
+var _ knn.DistanceOracle = (*Index)(nil)

@@ -1,0 +1,109 @@
+package ch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/ch"
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+)
+
+func testGraph(t testing.TB, seed int64, rows, cols int) *graph.Graph {
+	t.Helper()
+	return gen.Network(gen.NetworkSpec{Name: "t", Rows: rows, Cols: cols, Seed: seed})
+}
+
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 81, 16, 16)
+	x := ch.Build(g)
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestDistanceTravelTime(t *testing.T) {
+	g := testGraph(t, 82, 14, 14).View(graph.TravelTime)
+	x := ch.Build(g)
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("time d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestSelfDistanceZero(t *testing.T) {
+	g := testGraph(t, 83, 8, 8)
+	x := ch.Build(g)
+	for _, v := range []int32{0, 7, 30} {
+		if d := x.Distance(v, v); d != 0 {
+			t.Fatalf("d(%d,%d) = %d", v, v, d)
+		}
+	}
+}
+
+func TestRanksArePermutation(t *testing.T) {
+	g := testGraph(t, 84, 10, 10)
+	x := ch.Build(g)
+	seen := make([]bool, g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		r := x.Rank(v)
+		if r < 0 || int(r) >= g.NumVertices() || seen[r] {
+			t.Fatalf("rank %d of %d invalid", r, v)
+		}
+		seen[r] = true
+	}
+}
+
+func TestUpwardSearchVisitsSource(t *testing.T) {
+	g := testGraph(t, 85, 10, 10)
+	x := ch.Build(g)
+	visited := map[int32]graph.Dist{}
+	x.UpwardSearch(5, nil, func(v int32, d graph.Dist) { visited[v] = d })
+	if d, ok := visited[5]; !ok || d != 0 {
+		t.Fatalf("source not visited with 0: %v %v", d, ok)
+	}
+	// Upward distances over-approximate true distances.
+	solver := dijkstra.NewSolver(g)
+	for v, d := range visited {
+		if want := solver.Distance(5, v); d < want {
+			t.Fatalf("upward dist %d below true %d for %d", d, want, v)
+		}
+	}
+}
+
+func TestUpwardSearchPrune(t *testing.T) {
+	g := testGraph(t, 86, 10, 10)
+	x := ch.Build(g)
+	full, pruned := 0, 0
+	x.UpwardSearch(3, nil, func(int32, graph.Dist) { full++ })
+	x.UpwardSearch(3, func(v int32) bool { return v != 3 }, func(int32, graph.Dist) { pruned++ })
+	if pruned > full {
+		t.Fatalf("pruned search visited more: %d > %d", pruned, full)
+	}
+	if pruned < 1 {
+		t.Fatal("pruned search must still visit the source")
+	}
+}
+
+func TestShortcutsReported(t *testing.T) {
+	g := testGraph(t, 87, 12, 12)
+	x := ch.Build(g)
+	if x.Shortcuts <= 0 {
+		t.Fatal("expected shortcuts on a grid network")
+	}
+	if x.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}

@@ -1,0 +1,251 @@
+// Package core is the library facade: an Engine that owns a road network,
+// lazily builds each road-network index exactly once (recording build time
+// and size), and manufactures kNN methods — any of the paper's five
+// algorithms, with IER composable over any distance oracle — bound to
+// interchangeable object sets (the decoupled-index design of Section 2.2).
+//
+// Typical use:
+//
+//	g := gen.Network(gen.NetworkSpec{Name: "city", Rows: 96, Cols: 120, Seed: 1})
+//	e := core.New(g)
+//	hospitals := knn.NewObjectSet(g, hospitalVertices)
+//	m, _ := e.NewMethod(core.IERPHL, hospitals)
+//	results := m.KNN(query, 10)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rnknn/internal/ch"
+	"rnknn/internal/graph"
+	"rnknn/internal/gtree"
+	"rnknn/internal/ier"
+	"rnknn/internal/ine"
+	"rnknn/internal/knn"
+	"rnknn/internal/phl"
+	"rnknn/internal/road"
+	"rnknn/internal/silc"
+	"rnknn/internal/tnr"
+)
+
+// MethodKind identifies a kNN method configuration.
+type MethodKind int
+
+const (
+	// INE is Incremental Network Expansion (Section 3.1).
+	INE MethodKind = iota
+	// IERDijk is IER with a resumable Dijkstra oracle (the original IER).
+	IERDijk
+	// IERCH is IER with a Contraction Hierarchies oracle.
+	IERCH
+	// IERTNR is IER with a Transit Node Routing oracle.
+	IERTNR
+	// IERPHL is IER with the hub-labeling (PHL) oracle.
+	IERPHL
+	// IERGt is IER with the materialized G-tree oracle (MGtree).
+	IERGt
+	// Gtree is the G-tree kNN algorithm (Section 3.5, Algorithm 3).
+	Gtree
+	// ROAD is Route Overlay and Association Directory (Section 3.4).
+	ROAD
+	// DisBrw is Distance Browsing in its DB-ENN form (Appendix A.1.1).
+	DisBrw
+	// DisBrwOH is Distance Browsing with the original Object Hierarchy.
+	DisBrwOH
+	numKinds
+)
+
+// Kinds lists every method kind in display order.
+func Kinds() []MethodKind {
+	return []MethodKind{INE, IERDijk, IERCH, IERTNR, IERPHL, IERGt, Gtree, ROAD, DisBrw, DisBrwOH}
+}
+
+func (k MethodKind) String() string {
+	switch k {
+	case INE:
+		return "INE"
+	case IERDijk:
+		return "IER-Dijk"
+	case IERCH:
+		return "IER-CH"
+	case IERTNR:
+		return "IER-TNR"
+	case IERPHL:
+		return "IER-PHL"
+	case IERGt:
+		return "IER-Gt"
+	case Gtree:
+		return "Gtree"
+	case ROAD:
+		return "ROAD"
+	case DisBrw:
+		return "DisBrw"
+	case DisBrwOH:
+		return "DisBrw-OH"
+	}
+	return fmt.Sprintf("MethodKind(%d)", int(k))
+}
+
+// Options tunes index construction; zero values use the defaults each index
+// derives from the network size (matching the paper's parameter choices).
+type Options struct {
+	GtreeFanout int
+	GtreeTau    int
+	RoadFanout  int
+	RoadLevels  int
+	NumTransit  int
+	// SILCParallelism bounds the SILC build workers.
+	SILCParallelism int
+}
+
+// Engine owns one road network and its lazily built indexes.
+type Engine struct {
+	G    *graph.Graph
+	Opts Options
+
+	gt   *gtree.Index
+	rd   *road.Index
+	sc   *silc.Index
+	chx  *ch.Index
+	phlx *phl.Index
+	tnrx *tnr.Index
+
+	// BuildTimes records the wall-clock construction time of each index by
+	// name ("Gtree", "ROAD", "SILC", "CH", "PHL", "TNR").
+	BuildTimes map[string]time.Duration
+}
+
+// New creates an engine over g with default options.
+func New(g *graph.Graph) *Engine {
+	return &Engine{G: g, BuildTimes: map[string]time.Duration{}}
+}
+
+func (e *Engine) timed(name string, f func()) {
+	start := time.Now()
+	f()
+	e.BuildTimes[name] = time.Since(start)
+}
+
+// GtreeIndex returns the engine's G-tree, building it on first use.
+func (e *Engine) GtreeIndex() *gtree.Index {
+	if e.gt == nil {
+		e.timed("Gtree", func() {
+			e.gt = gtree.Build(e.G, gtree.Options{Fanout: e.Opts.GtreeFanout, Tau: e.Opts.GtreeTau})
+		})
+	}
+	return e.gt
+}
+
+// ROADIndex returns the engine's ROAD index, building it on first use.
+func (e *Engine) ROADIndex() *road.Index {
+	if e.rd == nil {
+		e.timed("ROAD", func() {
+			e.rd = road.Build(e.G, road.Options{Fanout: e.Opts.RoadFanout, Levels: e.Opts.RoadLevels})
+		})
+	}
+	return e.rd
+}
+
+// SILCIndex returns the engine's SILC index, building it on first use.
+// Beware the O(|V|^2 log |V|) build; the paper limits SILC to the smaller
+// networks and so does the experiment harness.
+func (e *Engine) SILCIndex() *silc.Index {
+	if e.sc == nil {
+		e.timed("SILC", func() {
+			e.sc = silc.Build(e.G, silc.Options{Parallelism: e.Opts.SILCParallelism})
+		})
+	}
+	return e.sc
+}
+
+// CHIndex returns the engine's contraction hierarchy, building it on first
+// use.
+func (e *Engine) CHIndex() *ch.Index {
+	if e.chx == nil {
+		e.timed("CH", func() { e.chx = ch.Build(e.G) })
+	}
+	return e.chx
+}
+
+// PHLIndex returns the engine's hub labeling, building it on first use (the
+// contraction hierarchy is shared with CHIndex).
+func (e *Engine) PHLIndex() *phl.Index {
+	if e.phlx == nil {
+		hierarchy := e.CHIndex()
+		e.timed("PHL", func() { e.phlx = phl.Build(e.G, hierarchy) })
+	}
+	return e.phlx
+}
+
+// TNRIndex returns the engine's transit-node index, building it on first
+// use (the contraction hierarchy is shared with CHIndex).
+func (e *Engine) TNRIndex() *tnr.Index {
+	if e.tnrx == nil {
+		hierarchy := e.CHIndex()
+		e.timed("TNR", func() {
+			e.tnrx = tnr.Build(e.G, hierarchy, tnr.Options{NumTransit: e.Opts.NumTransit})
+		})
+	}
+	return e.tnrx
+}
+
+// NewMethod builds a kNN method of the given kind over the object set,
+// constructing the required road-network index (once) and the method's
+// decoupled object index.
+func (e *Engine) NewMethod(kind MethodKind, objs *knn.ObjectSet) (knn.Method, error) {
+	switch kind {
+	case INE:
+		return ine.New(e.G, objs), nil
+	case IERDijk:
+		return ier.New("IER-Dijk", e.G, objs, ier.DijkstraFactory{G: e.G}), nil
+	case IERCH:
+		return ier.New("IER-CH", e.G, objs, ier.OracleFactory{Oracle: e.CHIndex()}), nil
+	case IERTNR:
+		return ier.New("IER-TNR", e.G, objs, ier.OracleFactory{Oracle: e.TNRIndex()}), nil
+	case IERPHL:
+		return ier.New("IER-PHL", e.G, objs, ier.OracleFactory{Oracle: e.PHLIndex()}), nil
+	case IERGt:
+		return ier.New("IER-Gt", e.G, objs, gtree.Factory{Idx: e.GtreeIndex()}), nil
+	case Gtree:
+		idx := e.GtreeIndex()
+		return gtree.NewKNN(idx, idx.NewOccurrenceList(objs)), nil
+	case ROAD:
+		idx := e.ROADIndex()
+		return road.NewKNN(idx, idx.NewAssociationDirectory(objs)), nil
+	case DisBrw:
+		return silc.NewDBENN(e.SILCIndex(), objs), nil
+	case DisBrwOH:
+		idx := e.SILCIndex()
+		return silc.NewDisBrw(idx, idx.NewObjectHierarchy(objs, 0)), nil
+	default:
+		return nil, fmt.Errorf("core: unknown method kind %v", kind)
+	}
+}
+
+// IndexSize returns the built size in bytes of the road-network index a
+// method kind depends on (the graph itself for INE and IER-Dijk, mirroring
+// the paper's "INE uses only the original graph" baseline in Figure 8).
+func (e *Engine) IndexSize(kind MethodKind) int {
+	switch kind {
+	case INE, IERDijk:
+		return graphSizeBytes(e.G)
+	case IERCH:
+		return e.CHIndex().SizeBytes()
+	case IERTNR:
+		return e.TNRIndex().SizeBytes()
+	case IERPHL:
+		return e.PHLIndex().SizeBytes()
+	case IERGt, Gtree:
+		return e.GtreeIndex().SizeBytes()
+	case ROAD:
+		return e.ROADIndex().SizeBytes()
+	case DisBrw, DisBrwOH:
+		return e.SILCIndex().SizeBytes()
+	}
+	return 0
+}
+
+func graphSizeBytes(g *graph.Graph) int {
+	return len(g.Offsets)*4 + len(g.Targets)*4 + len(g.DistW)*4 + len(g.TimeW)*4 + len(g.X)*16
+}

@@ -1,0 +1,258 @@
+// Package dijkstra implements the Dijkstra searches used both as the
+// baseline distance oracle (IER-Dijk, Figure 4) and as the construction
+// workhorse for the SILC, G-tree and ROAD indexes.
+//
+// A Solver owns reusable per-search state (distance array with version
+// stamping, settled bit set, duplicate-tolerant binary heap) so repeated
+// searches over the same graph allocate nothing.
+package dijkstra
+
+import (
+	"rnknn/internal/bitset"
+	"rnknn/internal/graph"
+	"rnknn/internal/pqueue"
+)
+
+// Solver runs Dijkstra searches over a fixed graph with reusable state.
+// It is not safe for concurrent use; create one Solver per goroutine.
+type Solver struct {
+	g       *graph.Graph
+	dist    []graph.Dist
+	stamp   []uint32
+	cur     uint32
+	settled *bitset.Set
+	q       *pqueue.Queue
+}
+
+// NewSolver returns a Solver for g (using g's active weight kind).
+func NewSolver(g *graph.Graph) *Solver {
+	n := g.NumVertices()
+	return &Solver{
+		g:       g,
+		dist:    make([]graph.Dist, n),
+		stamp:   make([]uint32, n),
+		settled: bitset.New(n),
+		q:       pqueue.NewQueue(1024),
+	}
+}
+
+// Graph returns the solver's graph.
+func (s *Solver) Graph() *graph.Graph { return s.g }
+
+func (s *Solver) begin(src int32) {
+	s.cur++
+	if s.cur == 0 { // stamp wrapped; reset everything once
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.settled.Reset()
+	s.q.Reset()
+	s.setDist(src, 0)
+	s.q.Push(src, 0)
+}
+
+func (s *Solver) setDist(v int32, d graph.Dist) {
+	s.dist[v] = d
+	s.stamp[v] = s.cur
+}
+
+func (s *Solver) distOf(v int32) graph.Dist {
+	if s.stamp[v] != s.cur {
+		return graph.Inf
+	}
+	return s.dist[v]
+}
+
+// Distance returns d(src, dst), terminating as soon as dst is settled.
+func (s *Solver) Distance(src, dst int32) graph.Dist {
+	if src == dst {
+		return 0
+	}
+	s.begin(src)
+	for !s.q.Empty() {
+		it := s.q.Pop()
+		v := it.ID
+		if s.settled.Get(v) {
+			continue
+		}
+		s.settled.Set(v)
+		if v == dst {
+			return graph.Dist(it.Key)
+		}
+		s.relax(v, graph.Dist(it.Key))
+	}
+	return graph.Inf
+}
+
+func (s *Solver) relax(v int32, dv graph.Dist) {
+	ts, ws := s.g.Neighbors(v)
+	for i, t := range ts {
+		if s.settled.Get(t) {
+			continue
+		}
+		nd := dv + graph.Dist(ws[i])
+		if nd < s.distOf(t) {
+			s.setDist(t, nd)
+			s.q.Push(t, int64(nd))
+		}
+	}
+}
+
+// DistancesTo returns d(src, t) for each target, terminating once every
+// target is settled. Unreachable targets get graph.Inf.
+func (s *Solver) DistancesTo(src int32, targets []int32) []graph.Dist {
+	out := make([]graph.Dist, len(targets))
+	for i := range out {
+		out[i] = graph.Inf
+	}
+	remaining := 0
+	want := make(map[int32][]int, len(targets))
+	for i, t := range targets {
+		if t == src {
+			out[i] = 0
+			continue
+		}
+		want[t] = append(want[t], i)
+		remaining++
+	}
+	if remaining == 0 {
+		return out
+	}
+	s.begin(src)
+	for !s.q.Empty() && remaining > 0 {
+		it := s.q.Pop()
+		v := it.ID
+		if s.settled.Get(v) {
+			continue
+		}
+		s.settled.Set(v)
+		if idxs, ok := want[v]; ok {
+			for _, i := range idxs {
+				out[i] = graph.Dist(it.Key)
+			}
+			remaining -= len(idxs)
+		}
+		s.relax(v, graph.Dist(it.Key))
+	}
+	return out
+}
+
+// All computes the full single-source shortest-path distances from src into
+// out, which must have length |V|. Unreachable vertices get graph.Inf.
+func (s *Solver) All(src int32, out []graph.Dist) {
+	for i := range out {
+		out[i] = graph.Inf
+	}
+	s.begin(src)
+	for !s.q.Empty() {
+		it := s.q.Pop()
+		v := it.ID
+		if s.settled.Get(v) {
+			continue
+		}
+		s.settled.Set(v)
+		out[v] = graph.Dist(it.Key)
+		s.relax(v, graph.Dist(it.Key))
+	}
+}
+
+// AllWithFirstMove computes full SSSP from src, additionally recording for
+// every reached vertex t the first vertex after src on a shortest path from
+// src to t (the SILC "color", Section 3.3). firstMove[src] is set to src.
+// Both slices must have length |V|.
+func (s *Solver) AllWithFirstMove(src int32, out []graph.Dist, firstMove []int32) {
+	for i := range out {
+		out[i] = graph.Inf
+		firstMove[i] = -1
+	}
+	s.begin(src)
+	firstMove[src] = src
+	// fm tracks the tentative first move for queued vertices.
+	fm := firstMove
+	for !s.q.Empty() {
+		it := s.q.Pop()
+		v := it.ID
+		if s.settled.Get(v) {
+			continue
+		}
+		s.settled.Set(v)
+		dv := graph.Dist(it.Key)
+		out[v] = dv
+		ts, ws := s.g.Neighbors(v)
+		for i, t := range ts {
+			if s.settled.Get(t) {
+				continue
+			}
+			nd := dv + graph.Dist(ws[i])
+			if nd < s.distOf(t) {
+				s.setDist(t, nd)
+				s.q.Push(t, int64(nd))
+				if v == src {
+					fm[t] = t
+				} else {
+					fm[t] = fm[v]
+				}
+			}
+		}
+	}
+}
+
+// Resumable is a suspendable Dijkstra expansion from a fixed source: callers
+// pull settled vertices in nondecreasing distance order via Next, which is
+// how IER-Dijk amortizes repeated network-distance computations from the
+// same query vertex. The zero value is unusable; call NewResumable.
+type Resumable struct {
+	s    *Solver
+	done bool
+}
+
+// NewResumable starts a resumable expansion from src.
+func NewResumable(g *graph.Graph, src int32) *Resumable {
+	r := &Resumable{s: NewSolver(g)}
+	r.s.begin(src)
+	return r
+}
+
+// Next returns the next settled vertex and its distance, or ok=false when
+// the graph is exhausted.
+func (r *Resumable) Next() (v int32, d graph.Dist, ok bool) {
+	if r.done {
+		return 0, 0, false
+	}
+	s := r.s
+	for !s.q.Empty() {
+		it := s.q.Pop()
+		u := it.ID
+		if s.settled.Get(u) {
+			continue
+		}
+		s.settled.Set(u)
+		s.relax(u, graph.Dist(it.Key))
+		return u, graph.Dist(it.Key), true
+	}
+	r.done = true
+	return 0, 0, false
+}
+
+// DistanceTo returns the settled distance to v if already settled, else
+// advances the expansion until v is settled or the graph is exhausted.
+func (r *Resumable) DistanceTo(v int32) graph.Dist {
+	s := r.s
+	if s.settled.Get(v) {
+		return s.dist[v] // settled implies stamped in this search
+	}
+	for {
+		u, d, ok := r.Next()
+		if !ok {
+			return graph.Inf
+		}
+		if u == v {
+			return d
+		}
+	}
+}
+
+// SettledCount returns how many vertices have been settled so far.
+func (r *Resumable) SettledCount() int { return r.s.settled.Count() }

@@ -1,0 +1,61 @@
+package exp_test
+
+import (
+	"strings"
+	"testing"
+
+	"rnknn/internal/exp"
+)
+
+// smallCfg shrinks every harness network so the full experiment set runs in
+// seconds. The point of these tests is that every experiment executes and
+// produces well-formed tables, not the measurements themselves.
+var smallCfg = exp.Config{Queries: 4, Scale: 0.012, Seed: 7}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	ids := exp.IDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, id := range ids {
+		tables, err := exp.Run(id, smallCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tab := range tables {
+			if tab.ID == "" || tab.Title == "" {
+				t.Fatalf("%s: table missing id/title", id)
+			}
+			if len(tab.Header) < 2 || len(tab.Rows) == 0 {
+				t.Fatalf("%s/%s: degenerate table", id, tab.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("%s/%s: row width %d != header %d (%v)", id, tab.ID, len(row), len(tab.Header), row)
+				}
+			}
+			s := tab.String()
+			if !strings.Contains(s, tab.ID) {
+				t.Fatalf("%s: rendering lost the id", id)
+			}
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := exp.Run("nope", smallCfg); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestTitlesCoverIDs(t *testing.T) {
+	titles := exp.Titles()
+	for _, id := range exp.IDs() {
+		if titles[id] == "" {
+			t.Fatalf("missing title for %s", id)
+		}
+	}
+}

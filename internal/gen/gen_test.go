@@ -1,0 +1,202 @@
+package gen
+
+import (
+	"testing"
+
+	"rnknn/internal/graph"
+)
+
+func TestNetworkValidAndConnected(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 15, Cols: 15, Seed: 3})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumVertices() < 15*15 {
+		t.Fatalf("vertices = %d, want >= grid size", g.NumVertices())
+	}
+}
+
+func TestNetworkDeterministic(t *testing.T) {
+	a := Network(NetworkSpec{Name: "t", Rows: 10, Cols: 10, Seed: 9})
+	b := Network(NetworkSpec{Name: "t", Rows: 10, Cols: 10, Seed: 9})
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different networks")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] || a.DistW[i] != b.DistW[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := Network(NetworkSpec{Name: "t", Rows: 10, Cols: 10, Seed: 10})
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		for i := range a.Targets {
+			if a.Targets[i] != c.Targets[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical networks")
+	}
+}
+
+func TestNetworkChainFraction(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 30, Cols: 30, Seed: 4})
+	f := g.ChainFraction()
+	if f < 0.15 || f > 0.75 {
+		t.Fatalf("chain fraction %v outside road-network-like range", f)
+	}
+}
+
+func TestHighwayNetworkMostlyChains(t *testing.T) {
+	g := HighwayNetwork("hwy", 6, 6, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if f := g.ChainFraction(); f < 0.9 {
+		t.Fatalf("highway network chain fraction %v, want >= 0.9", f)
+	}
+}
+
+func TestTravelTimeFasterOnHighways(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 20, Cols: 20, Seed: 5})
+	// Travel-time view must have strictly positive weights and a MaxSpeed
+	// larger than the distance view's (highways exist).
+	tv := g.View(graph.TravelTime)
+	if tv.MaxSpeed() <= g.MaxSpeed() {
+		t.Fatalf("time MaxSpeed %v not above distance MaxSpeed %v", tv.MaxSpeed(), g.MaxSpeed())
+	}
+}
+
+func TestUniformObjects(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 20, Cols: 20, Seed: 6})
+	objs := Uniform(g, 0.01, 1)
+	want := int(0.01 * float64(g.NumVertices()))
+	if len(objs) != want {
+		t.Fatalf("|O| = %d, want %d", len(objs), want)
+	}
+	seen := map[int32]bool{}
+	for i, v := range objs {
+		if v < 0 || int(v) >= g.NumVertices() {
+			t.Fatalf("object out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate object %d", v)
+		}
+		seen[v] = true
+		if i > 0 && objs[i-1] >= v {
+			t.Fatal("objects not sorted")
+		}
+	}
+	if len(Uniform(g, 0, 1)) != 1 {
+		t.Fatal("density 0 should still give one object")
+	}
+}
+
+func TestClusteredObjects(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 20, Cols: 20, Seed: 7})
+	objs := Clustered(g, 10, 5, 2)
+	if len(objs) < 10 {
+		t.Fatalf("|O| = %d, want >= numClusters", len(objs))
+	}
+	if len(objs) > 10*5 {
+		t.Fatalf("|O| = %d exceeds clusters*maxSize", len(objs))
+	}
+}
+
+func TestMinObjDistSets(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 16, Cols: 16, Seed: 8})
+	m := 4
+	res := MinObjDist(g, 0.05, m, 20, 3)
+	if len(res.Sets) != m {
+		t.Fatalf("sets = %d, want %d", len(res.Sets), m)
+	}
+	if res.Dmax <= 0 {
+		t.Fatal("Dmax must be positive")
+	}
+	// Verify the distance floors via an independent Dijkstra.
+	dist := ssspRef(g, res.Center)
+	for i, set := range res.Sets {
+		min := res.Dmax / (1 << uint(m-i))
+		for _, v := range set {
+			if dist[v] < min {
+				t.Fatalf("R%d object %d at distance %d below floor %d", i+1, v, dist[v], min)
+			}
+		}
+	}
+	qmax := res.Dmax / (1 << uint(m))
+	for _, q := range res.Queries {
+		if dist[q] >= qmax {
+			t.Fatalf("query %d at distance %d not near centre", q, dist[q])
+		}
+	}
+}
+
+func ssspRef(g *graph.Graph, src int32) []graph.Dist {
+	n := g.NumVertices()
+	d := make([]graph.Dist, n)
+	for i := range d {
+		d[i] = graph.Inf
+	}
+	d[src] = 0
+	for {
+		changed := false
+		for u := int32(0); u < int32(n); u++ {
+			if d[u] == graph.Inf {
+				continue
+			}
+			ts, ws := g.Neighbors(u)
+			for i, v := range ts {
+				if nd := d[u] + graph.Dist(ws[i]); nd < d[v] {
+					d[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return d
+		}
+	}
+}
+
+func TestPOICategories(t *testing.T) {
+	g := Network(NetworkSpec{Name: "t", Rows: 40, Cols: 40, Seed: 9})
+	cats := POICategories(g, 11)
+	if len(cats) != 8 {
+		t.Fatalf("categories = %d, want 8", len(cats))
+	}
+	for i, c := range cats {
+		if len(c.Vertices) == 0 {
+			t.Fatalf("%s empty", c.Name)
+		}
+		if i > 0 && len(c.Vertices) > len(cats[i-1].Vertices) {
+			t.Fatalf("categories not ordered by decreasing size: %s", c.Name)
+		}
+	}
+	if cats[0].Name != "School" || cats[7].Name != "Court" {
+		t.Fatalf("unexpected category order: %s..%s", cats[0].Name, cats[7].Name)
+	}
+}
+
+func TestLadder(t *testing.T) {
+	specs := Ladder()
+	if len(specs) < 6 {
+		t.Fatalf("ladder too short: %d", len(specs))
+	}
+	prev := 0
+	for _, s := range specs {
+		size := s.Rows * s.Cols
+		if size <= prev {
+			t.Fatalf("ladder not increasing at %s", s.Name)
+		}
+		prev = size
+	}
+	if _, ok := LadderSpec("NW"); !ok {
+		t.Fatal("LadderSpec(NW) missing")
+	}
+	if _, ok := LadderSpec("nope"); ok {
+		t.Fatal("LadderSpec should reject unknown names")
+	}
+}

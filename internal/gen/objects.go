@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/graph"
+)
+
+// Uniform returns a uniformly random object set of the given density
+// (|O| = max(1, density*|V|)) as a sorted vertex list (Section 4.2).
+func Uniform(g *graph.Graph, density float64, seed int64) []int32 {
+	n := g.NumVertices()
+	count := objCount(n, density)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	objs := make([]int32, count)
+	for i := 0; i < count; i++ {
+		objs[i] = int32(perm[i])
+	}
+	sortObjs(objs)
+	return objs
+}
+
+// Clustered returns a clustered object set (Section 4.2): numClusters
+// uniformly random central vertices, each expanded outwards (BFS over the
+// road network) collecting up to maxClusterSize nearby vertices.
+func Clustered(g *graph.Graph, numClusters, maxClusterSize int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if numClusters > n {
+		numClusters = n
+	}
+	perm := rng.Perm(n)
+	member := make(map[int32]bool, numClusters*maxClusterSize)
+	for c := 0; c < numClusters; c++ {
+		center := int32(perm[c])
+		size := 1
+		if maxClusterSize > 1 {
+			size += rng.Intn(maxClusterSize)
+		}
+		// BFS outward from the center.
+		frontier := []int32{center}
+		seen := map[int32]bool{center: true}
+		taken := 0
+		for len(frontier) > 0 && taken < size {
+			v := frontier[0]
+			frontier = frontier[1:]
+			if !member[v] {
+				member[v] = true
+				taken++
+			}
+			ts, _ := g.Neighbors(v)
+			for _, t := range ts {
+				if !seen[t] {
+					seen[t] = true
+					frontier = append(frontier, t)
+				}
+			}
+		}
+	}
+	objs := make([]int32, 0, len(member))
+	for v := range member {
+		objs = append(objs, v)
+	}
+	sortObjs(objs)
+	return objs
+}
+
+// MinDistResult holds the minimum-object-distance experiment inputs
+// (Section 4.2): object sets R_1..R_m with exponentially increasing minimum
+// network distance from the network centre, and query vertices closer to the
+// centre than any R_i object.
+type MinDistResult struct {
+	Center  int32
+	Dmax    graph.Dist
+	Sets    [][]int32 // Sets[i-1] = R_i
+	Queries []int32
+}
+
+// MinObjDist builds the minimum-object-distance sets: R_i contains objCount
+// objects whose network distance from the centre vertex is at least
+// Dmax/2^(m-i+1), plus query vertices within [0, Dmax/2^m) of the centre.
+func MinObjDist(g *graph.Graph, density float64, m, numQueries int, seed int64) MinDistResult {
+	n := g.NumVertices()
+	count := objCount(n, density)
+	rng := rand.New(rand.NewSource(seed))
+
+	center := centralVertex(g)
+	solver := dijkstra.NewSolver(g)
+	dist := make([]graph.Dist, n)
+	solver.All(center, dist)
+	dmax := graph.Dist(0)
+	for _, d := range dist {
+		if d != graph.Inf && d > dmax {
+			dmax = d
+		}
+	}
+	res := MinDistResult{Center: center, Dmax: dmax}
+
+	for i := 1; i <= m; i++ {
+		min := dmax / (1 << uint(m-i+1))
+		var pool []int32
+		for v := 0; v < n; v++ {
+			if dist[v] != graph.Inf && dist[v] >= min {
+				pool = append(pool, int32(v))
+			}
+		}
+		set := samplePool(pool, count, rng)
+		sortObjs(set)
+		res.Sets = append(res.Sets, set)
+	}
+
+	qmax := dmax / (1 << uint(m))
+	var qpool []int32
+	for v := 0; v < n; v++ {
+		if dist[v] < qmax {
+			qpool = append(qpool, int32(v))
+		}
+	}
+	if len(qpool) == 0 {
+		qpool = []int32{center}
+	}
+	res.Queries = samplePool(qpool, numQueries, rng)
+	return res
+}
+
+// centralVertex returns the vertex nearest the Euclidean centre of the
+// network's bounding box.
+func centralVertex(g *graph.Graph) int32 {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		minX = math.Min(minX, g.X[v])
+		minY = math.Min(minY, g.Y[v])
+		maxX = math.Max(maxX, g.X[v])
+		maxY = math.Max(maxY, g.Y[v])
+	}
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	best := int32(0)
+	bestD := math.Inf(1)
+	for v := 0; v < n; v++ {
+		d := math.Hypot(g.X[v]-cx, g.Y[v]-cy)
+		if d < bestD {
+			bestD = d
+			best = int32(v)
+		}
+	}
+	return best
+}
+
+func samplePool(pool []int32, count int, rng *rand.Rand) []int32 {
+	if count >= len(pool) {
+		out := make([]int32, len(pool))
+		copy(out, pool)
+		return out
+	}
+	idx := rng.Perm(len(pool))[:count]
+	out := make([]int32, count)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// POISet is a named object set mirroring one row of the paper's Table 2.
+type POISet struct {
+	Name      string
+	Density   float64
+	Clustered bool
+	Vertices  []int32
+}
+
+// POICategories generates the eight real-world POI categories of Table 2 as
+// synthetic sets with the paper's densities and spatial character (schools
+// and civic POIs roughly uniform; parks, fast food and hotels clustered).
+// Sets are ordered by decreasing size, as in Figure 13.
+func POICategories(g *graph.Graph, seed int64) []POISet {
+	n := g.NumVertices()
+	cats := []POISet{
+		{Name: "School", Density: 0.007},
+		{Name: "Park", Density: 0.003, Clustered: true},
+		{Name: "FastFood", Density: 0.001, Clustered: true},
+		{Name: "Post", Density: 0.001},
+		{Name: "Hospital", Density: 0.0005},
+		{Name: "Hotel", Density: 0.0004, Clustered: true},
+		{Name: "University", Density: 0.0002},
+		{Name: "Court", Density: 0.00009},
+	}
+	for i := range cats {
+		s := seed + int64(i)*7919
+		count := objCount(n, cats[i].Density)
+		if cats[i].Clustered {
+			// Clusters of up to 5, enough clusters to reach the density.
+			clusters := (count + 2) / 3
+			if clusters < 1 {
+				clusters = 1
+			}
+			objs := Clustered(g, clusters, 5, s)
+			if len(objs) > count {
+				rng := rand.New(rand.NewSource(s))
+				objs = samplePool(objs, count, rng)
+				sortObjs(objs)
+			}
+			cats[i].Vertices = objs
+		} else {
+			cats[i].Vertices = Uniform(g, cats[i].Density, s)
+		}
+	}
+	return cats
+}
+
+// QueryVertices returns numQueries uniformly random query vertices.
+func QueryVertices(g *graph.Graph, numQueries int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int32, numQueries)
+	n := g.NumVertices()
+	for i := range out {
+		out[i] = int32(rng.Intn(n))
+	}
+	return out
+}
+
+func objCount(n int, density float64) int {
+	count := int(density * float64(n))
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	return count
+}
+
+func sortObjs(objs []int32) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+}
+
+// Describe returns a one-line summary of an object set, for dataset tables.
+func Describe(name string, g *graph.Graph, objs []int32) string {
+	return fmt.Sprintf("%-10s |O|=%-7d density=%.5f", name, len(objs), float64(len(objs))/float64(g.NumVertices()))
+}

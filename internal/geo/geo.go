@@ -1,0 +1,150 @@
+// Package geo provides planar geometry helpers shared by the R-tree, the
+// SILC quadtrees and the object generators: Euclidean distances, axis-aligned
+// rectangles with point/rect distance queries, and Morton (Z-order) codes.
+package geo
+
+import "math"
+
+// Point is a planar point.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Rect is an axis-aligned rectangle, inclusive of its boundary.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns an inverted rectangle suitable as the identity for Expand.
+func EmptyRect() Rect {
+	return Rect{math.Inf(1), math.Inf(1), math.Inf(-1), math.Inf(-1)}
+}
+
+// Expand grows r to include p.
+func (r Rect) Expand(p Point) Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if s.MinX < r.MinX {
+		r.MinX = s.MinX
+	}
+	if s.MinY < r.MinY {
+		r.MinY = s.MinY
+	}
+	if s.MaxX > r.MaxX {
+		r.MaxX = s.MaxX
+	}
+	if s.MaxY > r.MaxY {
+		r.MaxY = s.MaxY
+	}
+	return r
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// MinDist returns the minimum Euclidean distance from p to any point of r
+// (zero if p is inside r).
+func (r Rect) MinDist(p Point) float64 {
+	dx := 0.0
+	if p.X < r.MinX {
+		dx = r.MinX - p.X
+	} else if p.X > r.MaxX {
+		dx = p.X - r.MaxX
+	}
+	dy := 0.0
+	if p.Y < r.MinY {
+		dy = r.MinY - p.Y
+	} else if p.Y > r.MaxY {
+		dy = p.Y - r.MaxY
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDist returns the maximum Euclidean distance from p to any point of r.
+func (r Rect) MaxDist(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-r.MinX), math.Abs(p.X-r.MaxX))
+	dy := math.Max(math.Abs(p.Y-r.MinY), math.Abs(p.Y-r.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MortonBits is the per-axis resolution of Morton codes produced by Encode.
+const MortonBits = 16
+
+// MortonGrid quantizes points of a bounding rectangle onto a 2^MortonBits
+// square grid and interleaves the cell coordinates into Z-order codes.
+type MortonGrid struct {
+	origin Point
+	scale  float64 // grid cells per coordinate unit
+}
+
+// NewMortonGrid returns a grid covering r.
+func NewMortonGrid(r Rect) MortonGrid {
+	w := r.MaxX - r.MinX
+	h := r.MaxY - r.MinY
+	side := math.Max(w, h)
+	if side <= 0 {
+		side = 1
+	}
+	cells := float64(uint32(1) << MortonBits)
+	return MortonGrid{origin: Point{r.MinX, r.MinY}, scale: (cells - 1) / side}
+}
+
+// Cell returns the quantized grid cell of p.
+func (g MortonGrid) Cell(p Point) (uint32, uint32) {
+	cx := uint32(math.Max(0, (p.X-g.origin.X)*g.scale))
+	cy := uint32(math.Max(0, (p.Y-g.origin.Y)*g.scale))
+	max := uint32(1)<<MortonBits - 1
+	if cx > max {
+		cx = max
+	}
+	if cy > max {
+		cy = max
+	}
+	return cx, cy
+}
+
+// Encode returns the Morton code of p: the bit-interleaving of its grid cell.
+func (g MortonGrid) Encode(p Point) uint64 {
+	cx, cy := g.Cell(p)
+	return Interleave(cx, cy)
+}
+
+// Interleave spreads the low MortonBits bits of x into even positions and y
+// into odd positions.
+func Interleave(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0xffffffff
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}

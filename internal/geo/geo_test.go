@@ -1,0 +1,89 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectExpandUnionContains(t *testing.T) {
+	r := EmptyRect()
+	r = r.Expand(Point{1, 2})
+	r = r.Expand(Point{-3, 5})
+	if r.MinX != -3 || r.MaxX != 1 || r.MinY != 2 || r.MaxY != 5 {
+		t.Fatalf("rect = %+v", r)
+	}
+	if !r.Contains(Point{0, 3}) || r.Contains(Point{2, 3}) {
+		t.Fatal("Contains wrong")
+	}
+	u := r.Union(Rect{0, 0, 10, 1})
+	if u.MinY != 0 || u.MaxX != 10 {
+		t.Fatalf("union = %+v", u)
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if d := r.MinDist(Point{5, 5}); d != 0 {
+		t.Fatalf("inside MinDist = %v", d)
+	}
+	if d := r.MinDist(Point{13, 14}); math.Abs(d-5) > 1e-9 {
+		t.Fatalf("corner MinDist = %v", d)
+	}
+	if d := r.MaxDist(Point{0, 0}); math.Abs(d-math.Sqrt(200)) > 1e-9 {
+		t.Fatalf("MaxDist = %v", d)
+	}
+}
+
+func TestMinDistLowerBoundsPointDistProperty(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by, qx, qy float64) bool {
+		for _, v := range []float64{px, py, ax, ay, bx, by, qx, qy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true // skip degenerate inputs
+			}
+		}
+		r := EmptyRect().Expand(Point{ax, ay}).Expand(Point{bx, by})
+		// Any point inside the rect is at least MinDist from q.
+		in := Point{math.Min(math.Max(px, r.MinX), r.MaxX), math.Min(math.Max(py, r.MinY), r.MaxY)}
+		q := Point{qx, qy}
+		return r.MinDist(q) <= q.Dist(in)+1e-6 && r.MaxDist(q) >= q.Dist(in)-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMortonOrderingLocality(t *testing.T) {
+	g := NewMortonGrid(Rect{0, 0, 100, 100})
+	// Interleave correctness on a couple of known cells.
+	if Interleave(0, 0) != 0 {
+		t.Fatal("Interleave(0,0)")
+	}
+	if Interleave(1, 0) != 1 || Interleave(0, 1) != 2 || Interleave(1, 1) != 3 {
+		t.Fatalf("Interleave small cells: %d %d %d", Interleave(1, 0), Interleave(0, 1), Interleave(1, 1))
+	}
+	// Same point, same code; clamped at borders.
+	a := g.Encode(Point{50, 50})
+	b := g.Encode(Point{50, 50})
+	if a != b {
+		t.Fatal("Encode not deterministic")
+	}
+	c := g.Encode(Point{1e9, 1e9})
+	d := g.Encode(Point{100, 100})
+	if c != d {
+		t.Fatal("Encode should clamp out-of-range points")
+	}
+}
+
+func TestMortonCellQuantization(t *testing.T) {
+	g := NewMortonGrid(Rect{0, 0, 10, 10})
+	cx0, cy0 := g.Cell(Point{0, 0})
+	if cx0 != 0 || cy0 != 0 {
+		t.Fatalf("origin cell = %d,%d", cx0, cy0)
+	}
+	cx1, cy1 := g.Cell(Point{10, 10})
+	max := uint32(1)<<MortonBits - 1
+	if cx1 != max || cy1 != max {
+		t.Fatalf("far corner cell = %d,%d want %d", cx1, cy1, max)
+	}
+}

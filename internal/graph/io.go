@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of road networks, so generated datasets can be saved
+// once and shared between experiment runs and tools.
+//
+// Format (little endian): magic "RNKN", version u32, name length u32 + name
+// bytes, |V| u32, |directed edges| u32, then Offsets, Targets, DistW, TimeW
+// as raw int32 arrays and X, Y as raw float64 arrays.
+
+const ioMagic = "RNKN"
+const ioVersion = 1
+
+// Write serializes g to w.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ioMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	if err := writeU32(ioVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(g.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(g.Name); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(g.NumEdges())); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{g.Offsets, g.Targets, g.DistW, g.TimeW} {
+		if err := binary.Write(bw, le, arr); err != nil {
+			return err
+		}
+	}
+	for _, arr := range [][]float64{g.X, g.Y} {
+		if err := binary.Write(bw, le, arr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by WriteTo and validates its structure.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var version uint32
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, le, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("graph: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var nv, ne uint32
+	if err := binary.Read(br, le, &nv); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, le, &ne); err != nil {
+		return nil, err
+	}
+	if nv > math.MaxInt32 || ne > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: counts out of range: %d/%d", nv, ne)
+	}
+	g := &Graph{
+		Name:    string(name),
+		Offsets: make([]int32, nv+1),
+		Targets: make([]int32, ne),
+		DistW:   make([]int32, ne),
+		TimeW:   make([]int32, ne),
+		X:       make([]float64, nv),
+		Y:       make([]float64, nv),
+	}
+	for _, arr := range [][]int32{g.Offsets, g.Targets, g.DistW, g.TimeW} {
+		if err := binary.Read(br, le, arr); err != nil {
+			return nil, err
+		}
+	}
+	for _, arr := range [][]float64{g.X, g.Y} {
+		if err := binary.Read(br, le, arr); err != nil {
+			return nil, err
+		}
+	}
+	g.W = g.DistW
+	g.Kind = TravelDistance
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}

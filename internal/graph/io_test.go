@@ -1,0 +1,68 @@
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "roundtrip", Rows: 12, Cols: 12, Seed: 171})
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	g2, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g2.Name != g.Name || g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("metadata mismatch")
+	}
+	for i := range g.Targets {
+		if g.Targets[i] != g2.Targets[i] || g.DistW[i] != g2.DistW[i] || g.TimeW[i] != g2.TimeW[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.X[v] != g2.X[v] || g.Y[v] != g2.Y[v] {
+			t.Fatalf("coordinate %d mismatch", v)
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "x", Rows: 8, Cols: 8, Seed: 172})
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("XXXX"), good[4:]...)
+	if _, err := graph.Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Truncated stream.
+	if _, err := graph.Read(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("accepted truncation")
+	}
+	// Corrupt a weight to zero: Validate must reject non-positive weights.
+	cp := append([]byte(nil), good...)
+	// Weights live after header+offsets+targets; flip a chunk to zeros.
+	for i := len(cp) / 2; i < len(cp)/2+64 && i < len(cp); i++ {
+		cp[i] = 0
+	}
+	if _, err := graph.Read(bytes.NewReader(cp)); err == nil {
+		t.Fatal("accepted corrupted body")
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	if _, err := graph.Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}

@@ -1,0 +1,149 @@
+package gtree
+
+// This file implements the Section 6.1 case study: the same G-tree distance
+// matrices accessed through three storage layouts — the production flat
+// array (excellent spatial locality), Go's builtin map (playing the role of
+// the paper's chained-hashing STL unordered_map: the "obvious" library
+// choice), and a custom open-addressing table with quadratic probing (the
+// Google dense_hash_map analogue). SetMatrixLayout switches the layout used
+// by query-time assembly; index construction always uses the arrays.
+
+// MatrixLayout selects the distance-matrix storage accessed at query time.
+type MatrixLayout int
+
+const (
+	// ArrayLayout is the production flat 1-D array (Figure 5).
+	ArrayLayout MatrixLayout = iota
+	// BuiltinMapLayout routes lookups through Go's builtin map.
+	BuiltinMapLayout
+	// OpenAddrLayout routes lookups through a quadratic-probing table.
+	OpenAddrLayout
+)
+
+func (l MatrixLayout) String() string {
+	switch l {
+	case ArrayLayout:
+		return "Array"
+	case BuiltinMapLayout:
+		return "Chained Hashing"
+	case OpenAddrLayout:
+		return "Quad. Probing"
+	}
+	return "?"
+}
+
+func matKey(ni, i, j int32) uint64 {
+	return uint64(ni)<<40 | uint64(uint32(i))<<20 | uint64(uint32(j))
+}
+
+// SetMatrixLayout switches the layout used by matAt. Hash layouts are built
+// lazily from the arrays on first use.
+func (x *Index) SetMatrixLayout(l MatrixLayout) {
+	x.layout = l
+	switch l {
+	case BuiltinMapLayout:
+		if x.builtinMap == nil {
+			m := make(map[uint64]int32)
+			x.forEachCell(func(ni, i, j, w int32) { m[matKey(ni, i, j)] = w })
+			x.builtinMap = m
+		}
+	case OpenAddrLayout:
+		if x.openAddr == nil {
+			total := 0
+			x.forEachCell(func(ni, i, j, w int32) { total++ })
+			t := newOpenTable(total)
+			x.forEachCell(func(ni, i, j, w int32) { t.put(matKey(ni, i, j), w) })
+			x.openAddr = t
+		}
+	}
+}
+
+// Layout returns the active matrix layout.
+func (x *Index) Layout() MatrixLayout { return x.layout }
+
+func (x *Index) forEachCell(f func(ni, i, j, w int32)) {
+	for ni := range x.nodes {
+		n := &x.nodes[ni]
+		if n.stride == 0 {
+			continue
+		}
+		rows := int32(len(n.mat)) / n.stride
+		for i := int32(0); i < rows; i++ {
+			for j := int32(0); j < n.stride; j++ {
+				f(int32(ni), i, j, n.mat[i*n.stride+j])
+			}
+		}
+	}
+}
+
+// matAt is the query-time matrix accessor honoring the active layout.
+func (x *Index) matAt(ni, i, j int32) int32 {
+	switch x.layout {
+	case BuiltinMapLayout:
+		return x.builtinMap[matKey(ni, i, j)]
+	case OpenAddrLayout:
+		return x.openAddr.get(matKey(ni, i, j))
+	default:
+		n := &x.nodes[ni]
+		return n.mat[i*n.stride+j]
+	}
+}
+
+// openTable is a quadratic-probing open-addressing hash table mapping
+// packed matrix coordinates to distances.
+type openTable struct {
+	keys []uint64
+	vals []int32
+	used []bool
+	mask uint64
+}
+
+func newOpenTable(n int) *openTable {
+	size := 16
+	for size < n*2 {
+		size *= 2
+	}
+	return &openTable{
+		keys: make([]uint64, size),
+		vals: make([]int32, size),
+		used: make([]bool, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func hash64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+func (t *openTable) put(k uint64, v int32) {
+	i := hash64(k) & t.mask
+	for step := uint64(1); ; step++ {
+		if !t.used[i] {
+			t.used[i] = true
+			t.keys[i] = k
+			t.vals[i] = v
+			return
+		}
+		if t.keys[i] == k {
+			t.vals[i] = v
+			return
+		}
+		i = (i + step) & t.mask // quadratic probing via triangular steps
+	}
+}
+
+func (t *openTable) get(k uint64) int32 {
+	i := hash64(k) & t.mask
+	for step := uint64(1); ; step++ {
+		if !t.used[i] {
+			return inf32
+		}
+		if t.keys[i] == k {
+			return t.vals[i]
+		}
+		i = (i + step) & t.mask
+	}
+}

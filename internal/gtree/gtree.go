@@ -1,0 +1,543 @@
+// Package gtree implements the G-tree index (Section 3.5): a hierarchy of
+// subgraphs over the shared partition tree, with border-to-border distance
+// matrices stored as flat arrays grouped by child (the cache-friendly layout
+// of Section 6.1), an assembly-based distance oracle with per-source
+// materialization (the MGtree of Section 5), the kNN algorithm of Algorithm
+// 3 with the improved leaf search of Algorithm 4 (Appendix A.2.1), and the
+// Occurrence List object index.
+//
+// Distance matrices are built in two phases: a bottom-up pass computes
+// distances constrained to each node's subgraph (leaves by Dijkstra on the
+// leaf subgraph, internal nodes by Dijkstra over the border graph assembled
+// from child matrices plus cut edges), and a top-down pass refines every
+// matrix to global network distances by injecting the parent's already
+// global border-to-border distances. Global matrices make LCA-based
+// assembly exact for arbitrary partitions.
+package gtree
+
+import (
+	"math"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/partition"
+	"rnknn/internal/pqueue"
+)
+
+// inf32 is the matrix sentinel for "no path" (matrices store int32 cells to
+// maximize cache density, Section 6.1).
+const inf32 int32 = math.MaxInt32 / 4
+
+// Index is a built G-tree.
+type Index struct {
+	G  *graph.Graph
+	PT *partition.Tree
+	// Tau is the leaf capacity the index was built with.
+	Tau int
+
+	nodes []node
+	// posInLeaf[v] is the index of v within its leaf's vertex list.
+	posInLeaf []int32
+	// Per-leaf local CSR subgraphs, extracted once at build time and shared
+	// by leaf matrix construction and the per-query leaf searches.
+	leafOff [][]int32
+	leafTgt [][]int32
+	leafW   [][]int32
+
+	// Query-time matrix layout (Section 6.1 ablation; see ablation.go).
+	layout     MatrixLayout
+	builtinMap map[uint64]int32
+	openAddr   *openTable
+}
+
+type node struct {
+	// borders are the node's border vertices (vertices with an edge leaving
+	// the node's subgraph), sorted ascending. Empty for the root.
+	borders []int32
+	// For internal nodes: childBorders is the concatenation of the
+	// children's border lists in child order; childOff[i] is the start of
+	// child i's block; ownIdx are the positions of this node's own borders
+	// within childBorders. mat is the |childBorders| x |childBorders|
+	// row-major distance matrix.
+	//
+	// For leaf nodes: mat is |borders| x |vertices| row-major, with columns
+	// ordered as the partition leaf's vertex list; ownIdx are the positions
+	// of the borders within that vertex list.
+	childBorders []int32
+	childOff     []int32
+	ownIdx       []int32
+	mat          []int32
+	stride       int32
+}
+
+func (n *node) matAt(i, j int32) int32 { return n.mat[i*n.stride+j] }
+
+// Options configures Build.
+type Options struct {
+	// Fanout is the partition fanout (paper default 4).
+	Fanout int
+	// Tau is the leaf capacity (paper: 64..512 depending on network size).
+	Tau int
+}
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.Fanout < 2 {
+		o.Fanout = 4
+	}
+	if o.Tau <= 0 {
+		// Scale tau with network size roughly as the paper does.
+		n := g.NumVertices()
+		switch {
+		case n <= 2_000:
+			o.Tau = 64
+		case n <= 10_000:
+			o.Tau = 128
+		case n <= 70_000:
+			o.Tau = 256
+		default:
+			o.Tau = 512
+		}
+	}
+	return o
+}
+
+// Build constructs a G-tree over g.
+func Build(g *graph.Graph, opts Options) *Index {
+	opts = opts.withDefaults(g)
+	pt := partition.Build(g, partition.Options{Fanout: opts.Fanout, MaxLeafSize: opts.Tau})
+	return BuildOnPartition(g, pt, opts.Tau)
+}
+
+// BuildOnPartition constructs a G-tree over a pre-built partition tree (the
+// experiments share one partition between G-tree and ROAD, Section 7.2).
+func BuildOnPartition(g *graph.Graph, pt *partition.Tree, tau int) *Index {
+	idx := &Index{G: g, PT: pt, Tau: tau}
+	idx.nodes = make([]node, len(pt.Nodes))
+	idx.computePositions()
+	idx.extractLeafCSRs()
+	idx.computeBorders()
+	idx.layoutInternalNodes()
+	idx.buildLeafMatrices(nil)
+	idx.buildInternalMatrices()
+	idx.refineTopDown()
+	return idx
+}
+
+func (x *Index) computePositions() {
+	x.posInLeaf = make([]int32, x.G.NumVertices())
+	for _, li := range x.PT.Leaves() {
+		for i, v := range x.PT.Nodes[li].Vertices {
+			x.posInLeaf[v] = int32(i)
+		}
+	}
+}
+
+// extractLeafCSRs caches the local CSR of every leaf subgraph.
+func (x *Index) extractLeafCSRs() {
+	n := len(x.PT.Nodes)
+	x.leafOff = make([][]int32, n)
+	x.leafTgt = make([][]int32, n)
+	x.leafW = make([][]int32, n)
+	for _, li := range x.PT.Leaves() {
+		off, tgt, w := partition.ExtractCSR(x.G, x.PT.Nodes[li].Vertices)
+		x.leafOff[li], x.leafTgt[li], x.leafW[li] = off, tgt, w
+	}
+}
+
+// computeBorders marks, for every node N and vertex u in N, u as a border of
+// N when u has a neighbor outside N. A vertex with an external neighbor v is
+// a border of every ancestor of its leaf that does not contain v.
+func (x *Index) computeBorders() {
+	pt := x.PT
+	isBorder := make([]map[int32]bool, len(pt.Nodes))
+	for u := int32(0); u < int32(x.G.NumVertices()); u++ {
+		ts, _ := x.G.Neighbors(u)
+		leafU := pt.LeafOf[u]
+		for _, v := range ts {
+			if pt.LeafOf[v] == leafU {
+				continue
+			}
+			n := leafU
+			for n != -1 && !pt.Contains(n, v) {
+				if isBorder[n] == nil {
+					isBorder[n] = make(map[int32]bool)
+				}
+				isBorder[n][u] = true
+				n = pt.Nodes[n].Parent
+			}
+		}
+	}
+	for ni := range x.nodes {
+		m := isBorder[ni]
+		if len(m) == 0 {
+			continue
+		}
+		bs := make([]int32, 0, len(m))
+		for v := range m {
+			bs = append(bs, v)
+		}
+		sortInt32(bs)
+		x.nodes[ni].borders = bs
+	}
+}
+
+func (x *Index) layoutInternalNodes() {
+	pt := x.PT
+	for ni := range x.nodes {
+		p := &pt.Nodes[ni]
+		if p.IsLeaf() {
+			// Leaf ownIdx: position of each border within the vertex list.
+			n := &x.nodes[ni]
+			n.ownIdx = make([]int32, len(n.borders))
+			for i, b := range n.borders {
+				n.ownIdx[i] = x.posInLeaf[b]
+			}
+			continue
+		}
+		n := &x.nodes[ni]
+		n.childOff = make([]int32, len(p.Children)+1)
+		for ci, c := range p.Children {
+			n.childOff[ci+1] = n.childOff[ci] + int32(len(x.nodes[c].borders))
+			n.childBorders = append(n.childBorders, x.nodes[c].borders...)
+		}
+		// Own borders are child borders too; locate each in childBorders.
+		pos := make(map[int32]int32, len(n.childBorders))
+		for i, v := range n.childBorders {
+			if _, ok := pos[v]; !ok {
+				pos[v] = int32(i)
+			}
+		}
+		n.ownIdx = make([]int32, len(n.borders))
+		for i, b := range n.borders {
+			n.ownIdx[i] = pos[b]
+		}
+	}
+}
+
+// buildLeafMatrices computes each leaf's border-to-vertex matrix with
+// Dijkstra constrained to the leaf subgraph. If extra is non-nil,
+// extra(leafID) returns an additional border-to-border clique (global
+// distances from the parent) injected into the search; this is the top-down
+// refinement pass.
+func (x *Index) buildLeafMatrices(extra func(ni int32) []int32) {
+	for _, li := range x.PT.Leaves() {
+		x.buildLeafMatrix(li, extra)
+	}
+}
+
+func (x *Index) buildLeafMatrix(li int32, extra func(ni int32) []int32) {
+	pt := x.PT
+	verts := pt.Nodes[li].Vertices
+	n := &x.nodes[li]
+	nb := len(n.borders)
+	nv := len(verts)
+	n.stride = int32(nv)
+	if n.mat == nil {
+		n.mat = make([]int32, nb*nv)
+	}
+	off, tgt, w := x.leafOff[li], x.leafTgt[li], x.leafW[li]
+	var clique []int32
+	if extra != nil {
+		clique = extra(li) // nb x nb global border distances, or nil
+	}
+	dist := make([]graph.Dist, nv)
+	q := pqueue.NewQueue(nv)
+	for bi := 0; bi < nb; bi++ {
+		src := x.posInLeaf[n.borders[bi]]
+		for i := range dist {
+			dist[i] = graph.Inf
+		}
+		q.Reset()
+		dist[src] = 0
+		q.Push(src, 0)
+		for !q.Empty() {
+			it := q.Pop()
+			v := it.ID
+			d := graph.Dist(it.Key)
+			if d > dist[v] {
+				continue
+			}
+			for e := off[v]; e < off[v+1]; e++ {
+				t := tgt[e]
+				if nd := d + graph.Dist(w[e]); nd < dist[t] {
+					dist[t] = nd
+					q.Push(t, int64(nd))
+				}
+			}
+			// Border clique relaxation (refinement pass only).
+			if clique != nil {
+				if vi := borderIndexOf(n, v); vi >= 0 {
+					for bj := 0; bj < nb; bj++ {
+						cw := clique[vi*nb+bj]
+						if cw >= inf32 {
+							continue
+						}
+						t := n.ownIdx[bj]
+						if nd := d + graph.Dist(cw); nd < dist[t] {
+							dist[t] = nd
+							q.Push(t, int64(nd))
+						}
+					}
+				}
+			}
+		}
+		row := n.mat[bi*nv : (bi+1)*nv]
+		for j := 0; j < nv; j++ {
+			row[j] = clamp32(dist[j])
+		}
+	}
+}
+
+// borderIndexOf returns the border index of the leaf-local vertex position
+// v, or -1 when v is not a border. Leaves have few borders; linear scan.
+func borderIndexOf(n *node, v int32) int {
+	for i, p := range n.ownIdx {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildInternalMatrices computes internal-node matrices bottom-up over the
+// border graph of each node's children.
+func (x *Index) buildInternalMatrices() {
+	order := x.nodesByLevelDesc()
+	for _, ni := range order {
+		if !x.PT.Nodes[ni].IsLeaf() {
+			x.buildInternalMatrix(ni, nil)
+		}
+	}
+}
+
+// buildInternalMatrix runs Dijkstra over node ni's border graph. extra, if
+// non-nil, is a |borders|^2 clique of global distances between ni's own
+// borders (from the parent) for the refinement pass.
+func (x *Index) buildInternalMatrix(ni int32, extra []int32) {
+	pt := x.PT
+	n := &x.nodes[ni]
+	cb := n.childBorders
+	ncb := len(cb)
+	n.stride = int32(ncb)
+	if n.mat == nil {
+		n.mat = make([]int32, ncb*ncb)
+	}
+	pos := make(map[int32]int32, ncb)
+	for i, v := range cb {
+		pos[v] = int32(i)
+	}
+	// Border graph adjacency: child cliques + cut edges + optional own
+	// clique. Built as flat slices.
+	type arc struct {
+		to int32
+		w  int32
+	}
+	adj := make([][]arc, ncb)
+	children := pt.Nodes[ni].Children
+	for ci, c := range children {
+		cn := &x.nodes[c]
+		base := n.childOff[ci]
+		nb := len(cn.borders)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if i == j {
+					continue
+				}
+				var w int32
+				if pt.Nodes[c].IsLeaf() {
+					w = cn.matAt(int32(i), cn.ownIdx[j])
+				} else {
+					w = cn.matAt(cn.ownIdx[i], cn.ownIdx[j])
+				}
+				if w < inf32 {
+					adj[base+int32(i)] = append(adj[base+int32(i)], arc{base + int32(j), w})
+				}
+			}
+		}
+	}
+	// Cut edges between children of ni: edge (u,v), both inside ni, in
+	// different children. Endpoints are borders of their children, hence in
+	// cb. A vertex may appear in several child blocks only if it were
+	// shared, which vertex partitioning forbids, so pos is unambiguous.
+	for _, u := range cb {
+		ui := pos[u]
+		ts, ws := x.G.Neighbors(u)
+		for i, v := range ts {
+			if vi, ok := pos[v]; ok && pt.PartOf(u, pt.Nodes[ni].Level+1) != pt.PartOf(v, pt.Nodes[ni].Level+1) {
+				adj[ui] = append(adj[ui], arc{vi, ws[i]})
+			}
+		}
+	}
+	if extra != nil {
+		nb := len(n.borders)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if i == j || extra[i*nb+j] >= inf32 {
+					continue
+				}
+				adj[n.ownIdx[i]] = append(adj[n.ownIdx[i]], arc{n.ownIdx[j], extra[i*nb+j]})
+			}
+		}
+	}
+
+	dist := make([]graph.Dist, ncb)
+	q := pqueue.NewQueue(ncb)
+	for src := 0; src < ncb; src++ {
+		for i := range dist {
+			dist[i] = graph.Inf
+		}
+		q.Reset()
+		dist[src] = 0
+		q.Push(int32(src), 0)
+		for !q.Empty() {
+			it := q.Pop()
+			v := it.ID
+			d := graph.Dist(it.Key)
+			if d > dist[v] {
+				continue
+			}
+			for _, a := range adj[v] {
+				if nd := d + graph.Dist(a.w); nd < dist[a.to] {
+					dist[a.to] = nd
+					q.Push(a.to, int64(nd))
+				}
+			}
+		}
+		row := n.mat[src*ncb : (src+1)*ncb]
+		for j := 0; j < ncb; j++ {
+			row[j] = clamp32(dist[j])
+		}
+	}
+}
+
+// refineTopDown upgrades every matrix from subgraph-constrained to global
+// distances, level by level from the root (whose matrix is already global).
+func (x *Index) refineTopDown() {
+	order := x.nodesByLevelAsc()
+	for _, ni := range order {
+		parent := x.PT.Nodes[ni].Parent
+		if parent == -1 {
+			continue // root is already global
+		}
+		clique := x.globalBorderClique(ni)
+		if x.PT.Nodes[ni].IsLeaf() {
+			x.buildLeafMatrix(ni, func(int32) []int32 { return clique })
+		} else {
+			x.buildInternalMatrix(ni, clique)
+		}
+	}
+}
+
+// globalBorderClique extracts the |B|^2 global distances between node ni's
+// own borders from its parent's (already refined) matrix. Node ni's borders
+// form a contiguous block of the parent's childBorders.
+func (x *Index) globalBorderClique(ni int32) []int32 {
+	pt := x.PT
+	parent := pt.Nodes[ni].Parent
+	pn := &x.nodes[parent]
+	ci := childIndex(pt, parent, ni)
+	base := pn.childOff[ci]
+	nb := len(x.nodes[ni].borders)
+	out := make([]int32, nb*nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			out[i*nb+j] = pn.matAt(base+int32(i), base+int32(j))
+		}
+	}
+	return out
+}
+
+func childIndex(pt *partition.Tree, parent, child int32) int {
+	for i, c := range pt.Nodes[parent].Children {
+		if c == child {
+			return i
+		}
+	}
+	panic("gtree: child not found under parent")
+}
+
+func (x *Index) nodesByLevelDesc() []int32 {
+	return x.nodesSorted(func(a, b int32) bool {
+		return x.PT.Nodes[a].Level > x.PT.Nodes[b].Level
+	})
+}
+
+func (x *Index) nodesByLevelAsc() []int32 {
+	return x.nodesSorted(func(a, b int32) bool {
+		return x.PT.Nodes[a].Level < x.PT.Nodes[b].Level
+	})
+}
+
+func (x *Index) nodesSorted(less func(a, b int32) bool) []int32 {
+	out := make([]int32, len(x.nodes))
+	for i := range out {
+		out[i] = int32(i)
+	}
+	// Stable insertion-friendly sort; node count is modest.
+	sortInt32Func(out, less)
+	return out
+}
+
+// SizeBytes estimates the index memory footprint (matrices dominate).
+func (x *Index) SizeBytes() int {
+	total := len(x.posInLeaf) * 4
+	for i := range x.nodes {
+		n := &x.nodes[i]
+		total += 4 * (len(n.borders) + len(n.childBorders) + len(n.childOff) + len(n.ownIdx) + len(n.mat))
+	}
+	return total
+}
+
+// Borders returns the border vertices of tree node ni (tests and stats).
+func (x *Index) Borders(ni int32) []int32 { return x.nodes[ni].borders }
+
+// NumNodes returns the number of tree nodes.
+func (x *Index) NumNodes() int { return len(x.nodes) }
+
+func clamp32(d graph.Dist) int32 {
+	if d >= graph.Dist(inf32) {
+		return inf32
+	}
+	return int32(d)
+}
+
+func sortInt32(a []int32) {
+	sortInt32Func(a, func(x, y int32) bool { return x < y })
+}
+
+func sortInt32Func(a []int32, less func(x, y int32) bool) {
+	// Simple binary-insertion-friendly quicksort via sort.Slice equivalent;
+	// implemented inline to avoid reflect overhead on hot build paths.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := a[(lo+hi)/2]
+			i, j := lo, hi-1
+			for i <= j {
+				for less(a[i], p) {
+					i++
+				}
+				for less(p, a[j]) {
+					j--
+				}
+				if i <= j {
+					a[i], a[j] = a[j], a[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j+1)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j + 1
+			}
+		}
+		for i := lo + 1; i < hi; i++ {
+			for j := i; j > lo && less(a[j], a[j-1]); j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+	}
+	qs(0, len(a))
+}

@@ -1,0 +1,209 @@
+package gtree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/internal/gtree"
+	"rnknn/internal/knn"
+)
+
+func testGraph(t testing.TB, seed int64, rows, cols int) *graph.Graph {
+	t.Helper()
+	return gen.Network(gen.NetworkSpec{Name: "t", Rows: rows, Cols: cols, Seed: seed})
+}
+
+func TestSourceDistanceMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 41, 16, 16)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	for trial := 0; trial < 25; trial++ {
+		s := int32(rng.Intn(n))
+		src := idx.NewSource(s)
+		// Repeated targets from one source exercise materialization.
+		for i := 0; i < 20; i++ {
+			tv := int32(rng.Intn(n))
+			got := src.DistanceTo(tv)
+			want := solver.Distance(s, tv)
+			if got != want {
+				t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+			}
+		}
+	}
+}
+
+func TestSourceSameLeafDistances(t *testing.T) {
+	g := testGraph(t, 42, 14, 14)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 40})
+	solver := dijkstra.NewSolver(g)
+	// Pick a source and query every vertex of its own leaf.
+	s := int32(7)
+	src := idx.NewSource(s)
+	leaf := idx.PT.LeafOf[s]
+	for _, tv := range idx.PT.Nodes[leaf].Vertices {
+		got := src.DistanceTo(tv)
+		want := solver.Distance(s, tv)
+		if got != want {
+			t.Fatalf("same-leaf d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestSourceMaterializationCheaper(t *testing.T) {
+	g := testGraph(t, 43, 16, 16)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
+	// Distances to many targets in one far leaf: the second query from the
+	// same source must add less path cost than the first.
+	src := idx.NewSource(0)
+	far := int32(g.NumVertices() - 1)
+	_ = src.DistanceTo(far)
+	c1 := src.PathCost
+	_ = src.DistanceTo(far - 1) // likely same or nearby leaf: reuse
+	c2 := src.PathCost - c1
+	if c2 >= c1 {
+		t.Fatalf("materialization did not reduce path cost: first=%d second=%d", c1, c2)
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	g := testGraph(t, 44, 18, 18)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
+	rng := rand.New(rand.NewSource(2))
+	for _, density := range []float64{0.003, 0.02, 0.2} {
+		objs := knn.NewObjectSet(g, gen.Uniform(g, density, 77))
+		ol := idx.NewOccurrenceList(objs)
+		m := gtree.NewKNN(idx, ol)
+		for trial := 0; trial < 20; trial++ {
+			q := int32(rng.Intn(g.NumVertices()))
+			for _, k := range []int{1, 5, 10} {
+				got := m.KNN(q, k)
+				want := knn.BruteForce(g, objs, q, k)
+				if !knn.SameResults(got, want) {
+					t.Fatalf("d=%v q=%d k=%d: got %s want %s", density, q, k,
+						knn.FormatResults(got), knn.FormatResults(want))
+				}
+			}
+		}
+	}
+}
+
+func TestKNNOriginalLeafAlsoCorrect(t *testing.T) {
+	g := testGraph(t, 45, 16, 16)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 48})
+	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.1, 9))
+	ol := idx.NewOccurrenceList(objs)
+	m := gtree.NewKNN(idx, ol)
+	m.ImprovedLeaf = false
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		q := int32(rng.Intn(g.NumVertices()))
+		got := m.KNN(q, 5)
+		want := knn.BruteForce(g, objs, q, 5)
+		if !knn.SameResults(got, want) {
+			t.Fatalf("q=%d: got %s want %s", q, knn.FormatResults(got), knn.FormatResults(want))
+		}
+	}
+}
+
+func TestKNNTravelTime(t *testing.T) {
+	g := testGraph(t, 46, 16, 16).View(graph.TravelTime)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
+	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.01, 5))
+	ol := idx.NewOccurrenceList(objs)
+	m := gtree.NewKNN(idx, ol)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		q := int32(rng.Intn(g.NumVertices()))
+		got := m.KNN(q, 10)
+		want := knn.BruteForce(g, objs, q, 10)
+		if !knn.SameResults(got, want) {
+			t.Fatalf("q=%d: got %s want %s", q, knn.FormatResults(got), knn.FormatResults(want))
+		}
+	}
+}
+
+func TestKNNQueryOnObject(t *testing.T) {
+	g := testGraph(t, 47, 12, 12)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 24})
+	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.05, 6))
+	m := gtree.NewKNN(idx, idx.NewOccurrenceList(objs))
+	q := objs.Vertices()[3]
+	got := m.KNN(q, 1)
+	if len(got) != 1 || got[0].Vertex != q || got[0].Dist != 0 {
+		t.Fatalf("query on object: %s", knn.FormatResults(got))
+	}
+}
+
+func TestKNNMoreThanAvailable(t *testing.T) {
+	g := testGraph(t, 48, 12, 12)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 24})
+	objs := knn.NewObjectSet(g, []int32{2, 40, 90})
+	m := gtree.NewKNN(idx, idx.NewOccurrenceList(objs))
+	got := m.KNN(5, 10)
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+}
+
+func TestOccurrenceListCounts(t *testing.T) {
+	g := testGraph(t, 49, 12, 12)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 24})
+	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.05, 7))
+	ol := idx.NewOccurrenceList(objs)
+	if int(ol.Count(0)) != objs.Len() {
+		t.Fatalf("root count %d, want %d", ol.Count(0), objs.Len())
+	}
+	// Every object must be in exactly one leaf list.
+	total := 0
+	for ni := 0; ni < idx.NumNodes(); ni++ {
+		total += len(ol.LeafObjects(int32(ni)))
+	}
+	if total != objs.Len() {
+		t.Fatalf("leaf lists hold %d, want %d", total, objs.Len())
+	}
+	if ol.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}
+
+func TestFactoryAsIEROracle(t *testing.T) {
+	g := testGraph(t, 50, 14, 14)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
+	f := gtree.Factory{Idx: idx}
+	if f.Name() != "MGtree" {
+		t.Fatalf("factory name %q", f.Name())
+	}
+	solver := dijkstra.NewSolver(g)
+	src := f.NewSource(12)
+	for _, tv := range []int32{0, 33, 77, 120} {
+		if got, want := src.DistanceTo(tv), solver.Distance(12, tv); got != want {
+			t.Fatalf("oracle d(12,%d) = %d, want %d", tv, got, want)
+		}
+	}
+}
+
+func TestIndexSizeBytesPositiveAndGrows(t *testing.T) {
+	small := gtree.Build(testGraph(t, 51, 10, 10), gtree.Options{Fanout: 4, Tau: 32})
+	large := gtree.Build(testGraph(t, 51, 20, 20), gtree.Options{Fanout: 4, Tau: 32})
+	if small.SizeBytes() <= 0 || large.SizeBytes() <= small.SizeBytes() {
+		t.Fatalf("sizes: small=%d large=%d", small.SizeBytes(), large.SizeBytes())
+	}
+}
+
+func TestTinyGraphSingleLeaf(t *testing.T) {
+	// Graph smaller than tau: the tree is a single leaf (the root).
+	g := testGraph(t, 52, 4, 4)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 4096})
+	objs := knn.NewObjectSet(g, []int32{1, 5, 9})
+	m := gtree.NewKNN(idx, idx.NewOccurrenceList(objs))
+	got := m.KNN(0, 2)
+	want := knn.BruteForce(g, objs, 0, 2)
+	if !knn.SameResults(got, want) {
+		t.Fatalf("single leaf: got %s want %s", knn.FormatResults(got), knn.FormatResults(want))
+	}
+}

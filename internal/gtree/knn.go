@@ -1,0 +1,249 @@
+package gtree
+
+import (
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+	"rnknn/internal/pqueue"
+)
+
+// KNN is the G-tree kNN algorithm (Algorithm 3) bound to an occurrence
+// list. With ImprovedLeaf (the default) the source-leaf search follows
+// Algorithm 4 (Appendix A.2.1), stopping after k settled leaf objects; the
+// original behaviour — exhausting all leaf objects and checking both path
+// types for each — is kept for the Figure 22 comparison.
+type KNN struct {
+	idx *Index
+	ol  *OccurrenceList
+	// ImprovedLeaf selects the Algorithm 4 leaf search (default true).
+	ImprovedLeaf bool
+
+	// PathCost reports the border-to-border additions of the last query
+	// (Figure 9b).
+	PathCost int
+}
+
+// NewKNN returns the G-tree kNN method. The occurrence list is the decoupled
+// object index; swap it with SetObjects for a different object set.
+func NewKNN(idx *Index, ol *OccurrenceList) *KNN {
+	return &KNN{idx: idx, ol: ol, ImprovedLeaf: true}
+}
+
+// Name implements knn.Method.
+func (x *KNN) Name() string {
+	if x.ImprovedLeaf {
+		return "Gtree"
+	}
+	return "Gtree-OrigLeaf"
+}
+
+// SetObjects swaps the occurrence list.
+func (x *KNN) SetObjects(ol *OccurrenceList) { x.ol = ol }
+
+// queue ids: vertices are encoded as themselves (>= 0), tree nodes as
+// -(node+1).
+func encodeNode(ni int32) int32 { return -(ni + 1) }
+func decodeNode(id int32) int32 { return -id - 1 }
+func isNodeID(id int32) bool    { return id < 0 }
+
+// KNN implements knn.Method.
+func (x *KNN) KNN(qv int32, k int) []knn.Result {
+	idx := x.idx
+	pt := idx.PT
+	src := idx.NewSource(qv)
+	q := pqueue.NewQueue(64)
+	out := make([]knn.Result, 0, k)
+
+	leafQ := pt.LeafOf[qv]
+	if x.ol.Count(leafQ) > 0 {
+		if x.ImprovedLeaf {
+			x.leafSearchImproved(src, qv, k, q, &out)
+		} else {
+			x.leafSearchOriginal(src, qv, q)
+		}
+	}
+
+	root := int32(0)
+	tn := leafQ
+	tmin := graph.Inf
+	if tn != root {
+		tmin = src.MinBorderDist(tn)
+	}
+	updateT := func() {
+		prev := tn
+		tn = pt.Nodes[tn].Parent
+		if tn == root || len(idx.nodes[tn].borders) == 0 {
+			tmin = graph.Inf
+		} else {
+			tmin = src.MinBorderDist(tn)
+		}
+		for _, c := range x.ol.Children(tn) {
+			if c == prev {
+				continue
+			}
+			q.Push(encodeNode(c), int64(src.MinBorderDist(c)))
+		}
+	}
+
+	for len(out) < k && (!q.Empty() || tn != root) {
+		if q.Empty() {
+			updateT()
+		}
+		if q.Empty() {
+			continue
+		}
+		it := q.Pop()
+		d := graph.Dist(it.Key)
+		if d > tmin {
+			updateT()
+			q.Push(it.ID, it.Key)
+			continue
+		}
+		if !isNodeID(it.ID) {
+			out = append(out, knn.Result{Vertex: it.ID, Dist: d})
+			continue
+		}
+		ni := decodeNode(it.ID)
+		if pt.Nodes[ni].IsLeaf() {
+			x.enqueueLeafObjects(src, ni, q)
+		} else {
+			for _, c := range x.ol.Children(ni) {
+				q.Push(encodeNode(c), int64(src.MinBorderDist(c)))
+			}
+		}
+	}
+	x.PathCost = src.PathCost
+	return out
+}
+
+// enqueueLeafObjects inserts every object of leaf ni with its exact network
+// distance assembled through the leaf's borders.
+func (x *KNN) enqueueLeafObjects(src *Source, ni int32, q *pqueue.Queue) {
+	idx := x.idx
+	db := src.BorderDists(ni)
+	ln := &idx.nodes[ni]
+	for _, o := range x.ol.LeafObjects(ni) {
+		pos := idx.posInLeaf[o]
+		best := graph.Inf
+		for bi := range ln.borders {
+			if db[bi] == graph.Inf {
+				continue
+			}
+			w := idx.matAt(ni, int32(bi), pos)
+			if w >= inf32 {
+				continue
+			}
+			if d := db[bi] + graph.Dist(w); d < best {
+				best = d
+			}
+		}
+		src.PathCost += len(ln.borders)
+		if best < graph.Inf {
+			q.Push(o, int64(best))
+		}
+	}
+}
+
+// leafSearchImproved is Algorithm 4: a Dijkstra inside the source leaf,
+// augmented with the global border clique. Objects settled before any
+// border are immediate results; objects settled afterwards are enqueued
+// into the main queue with their exact distances. The search stops after k
+// settled leaf objects.
+func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, out *[]knn.Result) {
+	if src.local == nil {
+		src.local = newLeafScan(x.idx, qv)
+	}
+	ls := src.local
+	leaf := src.leafQ
+	objs := x.ol.LeafObjects(leaf)
+	isObj := make(map[int32]bool, len(objs))
+	for _, o := range objs {
+		isObj[x.idx.posInLeaf[o]] = true
+	}
+	n := &x.idx.nodes[leaf]
+	borderFound := false
+	targets := 0
+	for targets < k {
+		v, d, ok := ls.next()
+		if !ok {
+			break
+		}
+		if !borderFound && borderIndexOf(n, v) >= 0 {
+			borderFound = true
+		}
+		if isObj[v] {
+			targets++
+			gv := x.idx.PT.Nodes[leaf].Vertices[v]
+			if !borderFound {
+				*out = append(*out, knn.Result{Vertex: gv, Dist: d})
+			} else {
+				q.Push(gv, int64(d))
+			}
+		}
+	}
+}
+
+// leafSearchOriginal reproduces the pre-improvement behaviour: exhaust the
+// leaf (settle every leaf object regardless of k), compute for each object
+// both the within-leaf distance and the through-borders distance, and
+// enqueue all of them.
+func (x *KNN) leafSearchOriginal(src *Source, qv int32, q *pqueue.Queue) {
+	idx := x.idx
+	leaf := src.leafQ
+	objs := x.ol.LeafObjects(leaf)
+	// Within-leaf-only Dijkstra (no border clique): path type (a).
+	inside := leafOnlyDistances(idx, leaf, qv)
+	// Global distances to borders: used for path type (b).
+	db := src.BorderDists(leaf)
+	ln := &idx.nodes[leaf]
+	for _, o := range objs {
+		pos := idx.posInLeaf[o]
+		best := inside[pos]
+		for bi := range ln.borders {
+			if db[bi] == graph.Inf {
+				continue
+			}
+			w := idx.matAt(leaf, int32(bi), pos)
+			if w >= inf32 {
+				continue
+			}
+			if d := db[bi] + graph.Dist(w); d < best {
+				best = d
+			}
+		}
+		src.PathCost += len(ln.borders)
+		if best < graph.Inf {
+			q.Push(o, int64(best))
+		}
+	}
+}
+
+// leafOnlyDistances runs a plain Dijkstra constrained to the leaf subgraph
+// (no border clique), the "type (a)" paths of Appendix A.2.1.
+func leafOnlyDistances(idx *Index, leaf, qv int32) []graph.Dist {
+	verts := idx.PT.Nodes[leaf].Vertices
+	off, tgt, w := idx.leafOff[leaf], idx.leafTgt[leaf], idx.leafW[leaf]
+	dist := make([]graph.Dist, len(verts))
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	q := pqueue.NewQueue(len(verts))
+	srcPos := idx.posInLeaf[qv]
+	dist[srcPos] = 0
+	q.Push(srcPos, 0)
+	for !q.Empty() {
+		it := q.Pop()
+		v := it.ID
+		d := graph.Dist(it.Key)
+		if d > dist[v] {
+			continue
+		}
+		for e := off[v]; e < off[v+1]; e++ {
+			t := tgt[e]
+			if nd := d + graph.Dist(w[e]); nd < dist[t] {
+				dist[t] = nd
+				q.Push(t, int64(nd))
+			}
+		}
+	}
+	return dist
+}

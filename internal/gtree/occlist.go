@@ -1,0 +1,126 @@
+package gtree
+
+import (
+	"rnknn/internal/knn"
+)
+
+// OccurrenceList is G-tree's decoupled object index (Section 3.5): for every
+// tree node, the children that contain objects, and for every leaf, the
+// object vertices it contains. It is built once per object set and passed
+// to the kNN algorithm, mirroring how the paper separates object index
+// construction from querying (Section 7.4, Appendix A.2).
+type OccurrenceList struct {
+	// childOcc[n] lists the children of node n containing >= 1 object.
+	childOcc [][]int32
+	// leafObjs[n] lists object vertices in leaf n (sorted), nil otherwise.
+	leafObjs [][]int32
+	// count[n] is the number of objects in node n's subgraph.
+	count []int32
+}
+
+// NewOccurrenceList builds the occurrence list for objs over the index.
+func (x *Index) NewOccurrenceList(objs *knn.ObjectSet) *OccurrenceList {
+	ol := &OccurrenceList{
+		childOcc: make([][]int32, len(x.nodes)),
+		leafObjs: make([][]int32, len(x.nodes)),
+		count:    make([]int32, len(x.nodes)),
+	}
+	pt := x.PT
+	for _, v := range objs.Vertices() {
+		leaf := pt.LeafOf[v]
+		ol.leafObjs[leaf] = append(ol.leafObjs[leaf], v)
+		// Propagate counts bottom-up.
+		for n := leaf; n != -1; n = pt.Nodes[n].Parent {
+			ol.count[n]++
+		}
+	}
+	for ni := range pt.Nodes {
+		if pt.Nodes[ni].IsLeaf() {
+			continue
+		}
+		for _, c := range pt.Nodes[ni].Children {
+			if ol.count[c] > 0 {
+				ol.childOcc[ni] = append(ol.childOcc[ni], c)
+			}
+		}
+	}
+	return ol
+}
+
+// HasObjects reports whether node ni's subgraph contains any object.
+func (ol *OccurrenceList) HasObjects(ni int32) bool { return ol.count[ni] > 0 }
+
+// Count returns the number of objects under node ni.
+func (ol *OccurrenceList) Count(ni int32) int32 { return ol.count[ni] }
+
+// Children returns the children of node ni containing objects.
+func (ol *OccurrenceList) Children(ni int32) []int32 { return ol.childOcc[ni] }
+
+// LeafObjects returns the objects in leaf ni.
+func (ol *OccurrenceList) LeafObjects(ni int32) []int32 { return ol.leafObjs[ni] }
+
+// Add registers a new object vertex, updating leaf lists, counts and child
+// occurrences along its ancestor chain. The paper's decoupled-index design
+// makes this cheap compared to re-indexing the road network (Section 2.2);
+// Add is O(tree height + leaf objects).
+func (ol *OccurrenceList) Add(x *Index, v int32) {
+	pt := x.PT
+	leaf := pt.LeafOf[v]
+	for _, o := range ol.leafObjs[leaf] {
+		if o == v {
+			return // already present
+		}
+	}
+	ol.leafObjs[leaf] = append(ol.leafObjs[leaf], v)
+	for n := leaf; n != -1; n = pt.Nodes[n].Parent {
+		ol.count[n]++
+		parent := pt.Nodes[n].Parent
+		if parent != -1 && ol.count[n] == 1 {
+			ol.childOcc[parent] = append(ol.childOcc[parent], n)
+		}
+	}
+}
+
+// Remove deletes an object vertex, reversing Add. It reports whether the
+// vertex was present.
+func (ol *OccurrenceList) Remove(x *Index, v int32) bool {
+	pt := x.PT
+	leaf := pt.LeafOf[v]
+	objs := ol.leafObjs[leaf]
+	found := -1
+	for i, o := range objs {
+		if o == v {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return false
+	}
+	ol.leafObjs[leaf] = append(objs[:found], objs[found+1:]...)
+	for n := leaf; n != -1; n = pt.Nodes[n].Parent {
+		ol.count[n]--
+		parent := pt.Nodes[n].Parent
+		if parent != -1 && ol.count[n] == 0 {
+			occ := ol.childOcc[parent]
+			for i, c := range occ {
+				if c == n {
+					ol.childOcc[parent] = append(occ[:i], occ[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return true
+}
+
+// SizeBytes estimates the occurrence list's memory footprint (the object
+// index cost of Figure 18).
+func (ol *OccurrenceList) SizeBytes() int {
+	total := len(ol.count) * 4
+	for i := range ol.childOcc {
+		total += len(ol.childOcc[i]) * 4
+		total += len(ol.leafObjs[i]) * 4
+	}
+	return total
+}

@@ -1,0 +1,77 @@
+package gtree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/gtree"
+	"rnknn/internal/knn"
+)
+
+// TestOccurrenceListUpdates drives a random Add/Remove workload against the
+// occurrence list and checks every intermediate state against a rebuilt
+// index and brute force.
+func TestOccurrenceListUpdates(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "t", Rows: 14, Cols: 14, Seed: 141})
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
+	rng := rand.New(rand.NewSource(1))
+
+	current := map[int32]bool{}
+	initial := gen.Uniform(g, 0.01, 5)
+	for _, v := range initial {
+		current[v] = true
+	}
+	ol := idx.NewOccurrenceList(knn.NewObjectSet(g, initial))
+	m := gtree.NewKNN(idx, ol)
+
+	for step := 0; step < 60; step++ {
+		v := int32(rng.Intn(g.NumVertices()))
+		if current[v] {
+			if !ol.Remove(idx, v) {
+				t.Fatalf("Remove(%d) reported absent but present", v)
+			}
+			delete(current, v)
+		} else {
+			ol.Add(idx, v)
+			current[v] = true
+		}
+		if step%5 != 0 {
+			continue
+		}
+		var verts []int32
+		for u := range current {
+			verts = append(verts, u)
+		}
+		objs := knn.NewObjectSet(g, verts)
+		q := int32(rng.Intn(g.NumVertices()))
+		got := m.KNN(q, 5)
+		want := knn.BruteForce(g, objs, q, 5)
+		if !knn.SameResults(got, want) {
+			t.Fatalf("step %d q=%d: got %s want %s", step, q,
+				knn.FormatResults(got), knn.FormatResults(want))
+		}
+		// Counts must equal a fresh build's counts at every node.
+		fresh := idx.NewOccurrenceList(objs)
+		for ni := 0; ni < idx.NumNodes(); ni++ {
+			if ol.Count(int32(ni)) != fresh.Count(int32(ni)) {
+				t.Fatalf("step %d node %d: count %d != fresh %d", step, ni,
+					ol.Count(int32(ni)), fresh.Count(int32(ni)))
+			}
+		}
+	}
+}
+
+func TestOccurrenceListAddIdempotent(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "t", Rows: 8, Cols: 8, Seed: 142})
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 16})
+	ol := idx.NewOccurrenceList(knn.NewObjectSet(g, []int32{3}))
+	ol.Add(idx, 3)
+	ol.Add(idx, 3)
+	if ol.Count(0) != 1 {
+		t.Fatalf("double Add inflated count to %d", ol.Count(0))
+	}
+	if ol.Remove(idx, 99) {
+		t.Fatal("Remove of absent vertex reported true")
+	}
+}

@@ -1,0 +1,144 @@
+// Package ier implements Incremental Euclidean Restriction (Section 3.2),
+// the heuristic best-first kNN framework the paper revives (Section 5): an
+// R-tree supplies candidate objects in Euclidean-lower-bound order, and any
+// pluggable distance oracle (Dijkstra, CH, TNR, PHL, materialized G-tree)
+// verifies their network distances.
+//
+// On travel-time graphs the lower bound is dE/S where S is the maximum
+// "speed" dE(e)/w(e) over edges (Section 7.5); the same formula is used on
+// travel-distance graphs, where S <= 1 and the bound is at least as tight
+// as plain Euclidean distance.
+package ier
+
+import (
+	"math"
+	"sort"
+
+	"rnknn/internal/geo"
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+	"rnknn/internal/rtree"
+)
+
+// IER is the IER kNN method bound to an oracle and an object set.
+type IER struct {
+	name    string
+	g       *graph.Graph
+	objs    *knn.ObjectSet
+	rt      *rtree.Tree
+	factory knn.SourceFactory
+	// invSpeed = 1/S; lower bound = floor(dE * invSpeed).
+	invSpeed float64
+
+	// FalseHits counts network distance computations in the last query that
+	// did not improve the candidate set (an experiment statistic).
+	FalseHits int
+	// OracleCalls counts network distance computations in the last query.
+	OracleCalls int
+}
+
+// New builds an IER method. name is the reported method name (e.g.
+// "IER-PHL"); the object R-tree is built over the object set's coordinates.
+func New(name string, g *graph.Graph, objs *knn.ObjectSet, factory knn.SourceFactory) *IER {
+	verts := objs.Vertices()
+	pts := make([]geo.Point, len(verts))
+	for i, v := range verts {
+		pts[i] = geo.Point{X: g.X[v], Y: g.Y[v]}
+	}
+	return &IER{
+		name:     name,
+		g:        g,
+		objs:     objs,
+		rt:       rtree.New(verts, pts, 0),
+		factory:  factory,
+		invSpeed: 1 / g.MaxSpeed(),
+	}
+}
+
+// Name implements knn.Method.
+func (x *IER) Name() string { return x.name }
+
+// Tree returns the object R-tree (shared with experiments that measure the
+// object index, Figure 18).
+func (x *IER) Tree() *rtree.Tree { return x.rt }
+
+// KNN implements knn.Method.
+func (x *IER) KNN(qv int32, k int) []knn.Result {
+	x.FalseHits = 0
+	x.OracleCalls = 0
+	if k > x.objs.Len() {
+		k = x.objs.Len()
+	}
+	if k == 0 {
+		return nil
+	}
+	src := x.factory.NewSource(qv)
+	scan := x.rt.NewScan(geo.Point{X: x.g.X[qv], Y: x.g.Y[qv]})
+
+	// cand is a max-heap of the current k candidates keyed by network
+	// distance; cand[0] carries Dk.
+	cand := make([]knn.Result, 0, k)
+	dk := graph.Inf
+	for {
+		nb, ok := scan.Next()
+		if !ok {
+			break
+		}
+		lb := graph.Dist(math.Floor(nb.Dist * x.invSpeed))
+		if len(cand) == k && lb >= dk {
+			// The next Euclidean NN cannot beat the current kth candidate,
+			// and all later ones are even further: terminate.
+			break
+		}
+		d := src.DistanceTo(nb.ID)
+		x.OracleCalls++
+		if len(cand) < k {
+			candPush(&cand, knn.Result{Vertex: nb.ID, Dist: d})
+			if len(cand) == k {
+				dk = cand[0].Dist
+			}
+		} else if d < dk {
+			candReplaceTop(cand, knn.Result{Vertex: nb.ID, Dist: d})
+			dk = cand[0].Dist
+		} else {
+			x.FalseHits++
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].Dist < cand[j].Dist })
+	return cand
+}
+
+func candPush(h *[]knn.Result, r knn.Result) {
+	*h = append(*h, r)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].Dist >= a[i].Dist {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func candReplaceTop(a []knn.Result, r knn.Result) {
+	a[0] = r
+	i := 0
+	n := len(a)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if rr := l + 1; rr < n && a[rr].Dist > a[l].Dist {
+			c = rr
+		}
+		if a[c].Dist <= a[i].Dist {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+}

@@ -1,0 +1,43 @@
+package ier
+
+import (
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+)
+
+// DijkstraFactory is the original IER oracle (Figure 4 "Dijk"): a suspended,
+// resumable Dijkstra expansion per query vertex. Resumption means subsequent
+// candidate distances from the same source reuse earlier expansion work.
+type DijkstraFactory struct {
+	G *graph.Graph
+}
+
+// Name implements knn.SourceFactory.
+func (f DijkstraFactory) Name() string { return "Dijk" }
+
+// NewSource implements knn.SourceFactory.
+func (f DijkstraFactory) NewSource(s int32) knn.SourceOracle {
+	return dijkstra.NewResumable(f.G, s)
+}
+
+// OracleFactory adapts any point-to-point DistanceOracle (CH, TNR, PHL) to
+// the per-source interface IER consumes.
+type OracleFactory struct {
+	Oracle knn.DistanceOracle
+}
+
+// Name implements knn.SourceFactory.
+func (f OracleFactory) Name() string { return f.Oracle.Name() }
+
+// NewSource implements knn.SourceFactory.
+func (f OracleFactory) NewSource(s int32) knn.SourceOracle {
+	return boundOracle{f.Oracle, s}
+}
+
+type boundOracle struct {
+	o knn.DistanceOracle
+	s int32
+}
+
+func (b boundOracle) DistanceTo(t int32) graph.Dist { return b.o.Distance(b.s, t) }

@@ -1,0 +1,61 @@
+package ine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/ine"
+	"rnknn/internal/knn"
+)
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	g, objs, queries := setup(t, 161)
+	x := ine.New(g, objs)
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range queries[:15] {
+		radius := graph.Dist(1000 + rng.Intn(50000))
+		got := x.Range(q, radius)
+		want := knn.BruteForceRange(g, objs, q, radius)
+		if len(got) != len(want) {
+			t.Fatalf("q=%d r=%d: got %d results, want %d", q, radius, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("q=%d r=%d i=%d: dist %d want %d", q, radius, i, got[i].Dist, want[i].Dist)
+			}
+			if got[i].Dist > radius {
+				t.Fatalf("result beyond radius: %d > %d", got[i].Dist, radius)
+			}
+		}
+	}
+}
+
+func TestRangeZeroRadius(t *testing.T) {
+	g, objs, _ := setup(t, 162)
+	x := ine.New(g, objs)
+	q := objs.Vertices()[0]
+	got := x.Range(q, 0)
+	if len(got) != 1 || got[0].Vertex != q {
+		t.Fatalf("zero radius on object: %s", knn.FormatResults(got))
+	}
+	nonObj := int32(-1)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if !objs.Contains(v) {
+			nonObj = v
+			break
+		}
+	}
+	if got := x.Range(nonObj, 0); len(got) != 0 {
+		t.Fatalf("zero radius on non-object returned %s", knn.FormatResults(got))
+	}
+}
+
+func TestRangeCoversWholeGraph(t *testing.T) {
+	g, objs, _ := setup(t, 163)
+	x := ine.New(g, objs)
+	got := x.Range(0, graph.Inf/2)
+	if len(got) != objs.Len() {
+		t.Fatalf("unbounded range found %d of %d objects", len(got), objs.Len())
+	}
+}

@@ -1,0 +1,183 @@
+// Package knn defines the shared vocabulary of the kNN methods: results,
+// object sets, the method interface that all five algorithms implement, the
+// distance-oracle interfaces IER composes with, and a brute-force reference
+// used to validate every method.
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"rnknn/internal/bitset"
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/graph"
+)
+
+// Result is one kNN answer: an object vertex and its network distance from
+// the query vertex. Methods return results in nondecreasing distance order.
+type Result struct {
+	Vertex int32
+	Dist   graph.Dist
+}
+
+// Method is a kNN query algorithm bound to a road network index and an
+// object set. Implementations are not safe for concurrent use.
+type Method interface {
+	// Name identifies the method in experiment output (e.g. "INE",
+	// "IER-PHL", "Gtree").
+	Name() string
+	// KNN returns the k nearest objects to query vertex q by network
+	// distance, fewer if the object set is smaller than k.
+	KNN(q int32, k int) []Result
+}
+
+// DistanceOracle answers point-to-point network distance queries; IER can
+// be composed with any of these (Section 5).
+type DistanceOracle interface {
+	Name() string
+	Distance(s, t int32) graph.Dist
+}
+
+// SourceOracle answers repeated distance queries from one fixed source.
+// Oracles that can materialize per-source state (MGtree's assembled border
+// distances, a suspended Dijkstra) implement SourceFactory to expose it;
+// IER prefers this form.
+type SourceOracle interface {
+	DistanceTo(t int32) graph.Dist
+}
+
+// SourceFactory creates per-source oracles.
+type SourceFactory interface {
+	Name() string
+	NewSource(s int32) SourceOracle
+}
+
+// ObjectSet is an immutable set of object vertices with O(1) membership.
+type ObjectSet struct {
+	verts  []int32
+	member *bitset.Set
+}
+
+// NewObjectSet builds an ObjectSet over vertices of g. The input need not be
+// sorted; duplicates are dropped.
+func NewObjectSet(g *graph.Graph, vertices []int32) *ObjectSet {
+	member := bitset.New(g.NumVertices())
+	verts := make([]int32, 0, len(vertices))
+	for _, v := range vertices {
+		if !member.Get(v) {
+			member.Set(v)
+			verts = append(verts, v)
+		}
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	return &ObjectSet{verts: verts, member: member}
+}
+
+// Contains reports whether v is an object.
+func (o *ObjectSet) Contains(v int32) bool { return o.member.Get(v) }
+
+// Len returns the number of objects.
+func (o *ObjectSet) Len() int { return len(o.verts) }
+
+// Vertices returns the sorted object vertices; the slice must not be
+// modified.
+func (o *ObjectSet) Vertices() []int32 { return o.verts }
+
+// SizeBytes estimates the in-memory footprint of the set (the lower-bound
+// object storage cost INE pays, Figure 18).
+func (o *ObjectSet) SizeBytes() int { return len(o.verts)*4 + o.member.Capacity()/8 }
+
+// BruteForce computes the exact kNN answer by a full Dijkstra expansion that
+// stops after k objects are settled. It is the correctness reference for all
+// methods.
+func BruteForce(g *graph.Graph, objs *ObjectSet, q int32, k int) []Result {
+	r := dijkstra.NewResumable(g, q)
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		v, d, ok := r.Next()
+		if !ok {
+			break
+		}
+		if objs.Contains(v) {
+			out = append(out, Result{v, d})
+		}
+	}
+	return out
+}
+
+// SameResults reports whether two result lists agree: identical distance
+// sequences, and identical vertices wherever distances are unique. It
+// tolerates tie reordering among equal distances.
+func SameResults(a, b []Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	// Group by distance and compare vertex sets per group. The group at the
+	// k-th (last) distance is exempt: when several objects tie at the cutoff
+	// distance, any choice among them is a correct kNN answer.
+	i := 0
+	for i < len(a) {
+		j := i + 1
+		for j < len(a) && a[j].Dist == a[i].Dist {
+			j++
+		}
+		if j < len(a) && !sameVertexSet(a[i:j], b[i:j]) {
+			return false
+		}
+		i = j
+	}
+	return true
+}
+
+func sameVertexSet(a, b []Result) bool {
+	if len(a) == 1 {
+		return a[0].Vertex == b[0].Vertex
+	}
+	seen := make(map[int32]int, len(a))
+	for _, r := range a {
+		seen[r.Vertex]++
+	}
+	for _, r := range b {
+		seen[r.Vertex]--
+	}
+	for _, c := range seen {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatResults renders results compactly for logs and examples.
+func FormatResults(rs []Result) string {
+	s := "["
+	for i, r := range rs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d", r.Vertex, r.Dist)
+	}
+	return s + "]"
+}
+
+// BruteForceRange computes the exact set of objects within network distance
+// radius of q, in nondecreasing distance order (the range-query reference).
+func BruteForceRange(g *graph.Graph, objs *ObjectSet, q int32, radius graph.Dist) []Result {
+	r := dijkstra.NewResumable(g, q)
+	var out []Result
+	for {
+		v, d, ok := r.Next()
+		if !ok || d > radius {
+			break
+		}
+		if objs.Contains(v) {
+			out = append(out, Result{v, d})
+		}
+	}
+	return out
+}

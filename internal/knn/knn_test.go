@@ -1,0 +1,110 @@
+package knn_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return gen.Network(gen.NetworkSpec{Name: "t", Rows: 12, Cols: 12, Seed: 131})
+}
+
+func TestObjectSetBasics(t *testing.T) {
+	g := testGraph(t)
+	objs := knn.NewObjectSet(g, []int32{9, 3, 3, 7})
+	if objs.Len() != 3 {
+		t.Fatalf("Len = %d, want deduplicated 3", objs.Len())
+	}
+	vs := objs.Vertices()
+	if vs[0] != 3 || vs[1] != 7 || vs[2] != 9 {
+		t.Fatalf("Vertices = %v, want sorted", vs)
+	}
+	if !objs.Contains(7) || objs.Contains(8) {
+		t.Fatal("Contains wrong")
+	}
+	if objs.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}
+
+func TestBruteForceOrderedAndComplete(t *testing.T) {
+	g := testGraph(t)
+	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.05, 1))
+	res := knn.BruteForce(g, objs, 0, 5)
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Dist > res[i].Dist {
+			t.Fatal("results not ordered")
+		}
+	}
+	// k beyond |O| returns all objects.
+	small := knn.NewObjectSet(g, []int32{1, 2})
+	if got := knn.BruteForce(g, small, 0, 9); len(got) != 2 {
+		t.Fatalf("got %d, want 2", len(got))
+	}
+}
+
+func TestSameResultsExactMatch(t *testing.T) {
+	a := []knn.Result{{1, 10}, {2, 20}}
+	b := []knn.Result{{1, 10}, {2, 20}}
+	if !knn.SameResults(a, b) {
+		t.Fatal("identical results must match")
+	}
+	if knn.SameResults(a, b[:1]) {
+		t.Fatal("length mismatch must fail")
+	}
+	if knn.SameResults(a, []knn.Result{{1, 10}, {2, 21}}) {
+		t.Fatal("distance mismatch must fail")
+	}
+}
+
+func TestSameResultsTieReordering(t *testing.T) {
+	a := []knn.Result{{1, 10}, {2, 10}, {3, 20}}
+	b := []knn.Result{{2, 10}, {1, 10}, {3, 20}}
+	if !knn.SameResults(a, b) {
+		t.Fatal("tie reordering within a group must match")
+	}
+	// A different vertex in a non-final tie group must fail.
+	c := []knn.Result{{1, 10}, {9, 10}, {3, 20}}
+	if knn.SameResults(a, c) {
+		t.Fatal("different vertex in non-final group must fail")
+	}
+	// The final (kth) group is exempt: any choice among equal distances.
+	d := []knn.Result{{1, 10}, {2, 10}, {99, 20}}
+	if !knn.SameResults(a, d) {
+		t.Fatal("final-group tie substitution must match")
+	}
+}
+
+func TestSameResultsReflexiveProperty(t *testing.T) {
+	f := func(dists []uint16) bool {
+		rs := make([]knn.Result, len(dists))
+		prev := graph.Dist(0)
+		for i, d := range dists {
+			prev += graph.Dist(d % 100)
+			rs[i] = knn.Result{Vertex: int32(i), Dist: prev}
+		}
+		return knn.SameResults(rs, rs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	s := knn.FormatResults([]knn.Result{{5, 100}, {7, 200}})
+	if !strings.Contains(s, "5:100") || !strings.Contains(s, "7:200") {
+		t.Fatalf("format %q", s)
+	}
+	if knn.FormatResults(nil) != "[]" {
+		t.Fatal("empty format")
+	}
+}

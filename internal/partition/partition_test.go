@@ -1,0 +1,159 @@
+package partition_test
+
+import (
+	"testing"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/internal/partition"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return gen.Network(gen.NetworkSpec{Name: "t", Rows: 20, Cols: 20, Seed: 12})
+}
+
+func TestBuildCoversAllVerticesOnce(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 30})
+	seen := make([]int, g.NumVertices())
+	for _, li := range tr.Leaves() {
+		for _, v := range tr.Nodes[li].Vertices {
+			seen[v]++
+		}
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("vertex %d in %d leaves", v, c)
+		}
+	}
+}
+
+func TestLeafSizeRespected(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 25})
+	for _, li := range tr.Leaves() {
+		n := len(tr.Nodes[li].Vertices)
+		if n > 25 {
+			t.Fatalf("leaf with %d > 25 vertices", n)
+		}
+		if n == 0 {
+			t.Fatal("empty leaf")
+		}
+	}
+}
+
+func TestMaxLevelsRespected(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 2, MaxLevels: 3})
+	if h := tr.Height(); h != 4 {
+		t.Fatalf("height = %d, want 4 (levels 0..3)", h)
+	}
+}
+
+func TestContainsAndPartOf(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 40})
+	for v := int32(0); v < int32(g.NumVertices()); v += 17 {
+		leaf := tr.LeafOf[v]
+		if !tr.Nodes[leaf].IsLeaf() {
+			t.Fatalf("LeafOf[%d] is not a leaf", v)
+		}
+		// v must be contained in every ancestor and in no sibling subtree.
+		n := leaf
+		for n != -1 {
+			if !tr.Contains(n, v) {
+				t.Fatalf("ancestor %d does not contain %d", n, v)
+			}
+			parent := tr.Nodes[n].Parent
+			if parent != -1 {
+				for _, sib := range tr.Nodes[parent].Children {
+					if sib != n && tr.Contains(sib, v) {
+						t.Fatalf("sibling %d also contains %d", sib, v)
+					}
+				}
+			}
+			n = parent
+		}
+		if tr.PartOf(v, 0) != 0 {
+			t.Fatal("PartOf level 0 must be root")
+		}
+	}
+}
+
+func TestChildrenPartitionParent(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 40})
+	for ni := range tr.Nodes {
+		node := &tr.Nodes[ni]
+		if node.IsLeaf() {
+			continue
+		}
+		total := 0
+		for _, c := range node.Children {
+			total += len(tr.Nodes[c].Vertices)
+		}
+		if total != len(node.Vertices) {
+			t.Fatalf("node %d: children cover %d of %d vertices", ni, total, len(node.Vertices))
+		}
+	}
+}
+
+func TestBalanceReasonable(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 40})
+	root := tr.Nodes[0]
+	for _, c := range root.Children {
+		frac := float64(len(tr.Nodes[c].Vertices)) / float64(g.NumVertices())
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("root child holds %.2f of vertices", frac)
+		}
+	}
+}
+
+func TestRefinementReducesOrKeepsCut(t *testing.T) {
+	g := testGraph(t)
+	noRefine := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 40, RefinePasses: -1})
+	refined := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 40, RefinePasses: 3})
+	if refined.CutEdges(g) > noRefine.CutEdges(g) {
+		t.Fatalf("refinement increased cut: %d > %d", refined.CutEdges(g), noRefine.CutEdges(g))
+	}
+}
+
+func TestExtractCSR(t *testing.T) {
+	g := testGraph(t)
+	tr := partition.Build(g, partition.Options{Fanout: 4, MaxLeafSize: 30})
+	leaf := tr.Leaves()[0]
+	verts := tr.Nodes[leaf].Vertices
+	off, tgt, w := partition.ExtractCSR(g, verts)
+	if len(off) != len(verts)+1 {
+		t.Fatal("offsets length")
+	}
+	// Every local edge must correspond to a real edge with matching weight.
+	for li := 0; li < len(verts); li++ {
+		for e := off[li]; e < off[li+1]; e++ {
+			u, v := verts[li], verts[tgt[e]]
+			gw, ok := g.EdgeWeightBetween(u, v)
+			if !ok || gw != w[e] {
+				t.Fatalf("local edge %d-%d weight %d mismatch (%d,%v)", u, v, w[e], gw, ok)
+			}
+		}
+	}
+	// Count of local directed edges must equal internal edges of the leaf.
+	inLeaf := map[int32]bool{}
+	for _, v := range verts {
+		inLeaf[v] = true
+	}
+	wantEdges := int32(0)
+	for _, u := range verts {
+		ts, _ := g.Neighbors(u)
+		for _, v := range ts {
+			if inLeaf[v] {
+				wantEdges++
+			}
+		}
+	}
+	if off[len(verts)] != wantEdges {
+		t.Fatalf("extracted %d edges, want %d", off[len(verts)], wantEdges)
+	}
+}

@@ -1,0 +1,94 @@
+package phl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/ch"
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/internal/phl"
+)
+
+func testGraph(t testing.TB, seed int64, rows, cols int) *graph.Graph {
+	t.Helper()
+	return gen.Network(gen.NetworkSpec{Name: "t", Rows: rows, Cols: cols, Seed: seed})
+}
+
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 91, 16, 16)
+	x := phl.Build(g, nil)
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestDistanceTravelTime(t *testing.T) {
+	g := testGraph(t, 92, 14, 14).View(graph.TravelTime)
+	x := phl.Build(g, nil)
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("time d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestSharedHierarchy(t *testing.T) {
+	g := testGraph(t, 93, 10, 10)
+	h := ch.Build(g)
+	x := phl.Build(g, h)
+	solver := dijkstra.NewSolver(g)
+	for trial := int32(0); trial < 40; trial++ {
+		s, tv := trial%17, (trial*7)%31
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestLabelStats(t *testing.T) {
+	g := testGraph(t, 94, 12, 12)
+	x := phl.Build(g, nil)
+	avg := x.AvgLabelSize()
+	if avg < 1 {
+		t.Fatalf("AvgLabelSize = %v; every vertex labels itself at least", avg)
+	}
+	if avg > float64(g.NumVertices())/2 {
+		t.Fatalf("AvgLabelSize = %v; pruning is not working", avg)
+	}
+	if x.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}
+
+func TestTimeLabelsSmallerThanDistance(t *testing.T) {
+	// The paper observes PHL labels shrink on travel-time graphs thanks to
+	// highway hierarchies (Section 7.2 / B.2); verify the substitute
+	// preserves that direction on a network large enough to have tiers.
+	g := testGraph(t, 95, 24, 24)
+	xd := phl.Build(g, nil)
+	xt := phl.Build(g.View(graph.TravelTime), nil)
+	if xt.AvgLabelSize() >= xd.AvgLabelSize()*1.25 {
+		t.Fatalf("time labels (%.1f) much larger than distance labels (%.1f)",
+			xt.AvgLabelSize(), xd.AvgLabelSize())
+	}
+}
+
+func TestSelfDistance(t *testing.T) {
+	g := testGraph(t, 96, 8, 8)
+	x := phl.Build(g, nil)
+	if d := x.Distance(9, 9); d != 0 {
+		t.Fatalf("self distance %d", d)
+	}
+}

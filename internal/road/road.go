@@ -1,0 +1,633 @@
+// Package road implements ROAD — Route Overlay and Association Directory
+// (Section 3.4): an Rnet hierarchy over the shared partitioner with
+// precomputed border-to-border shortcuts, and an INE-style expansion that
+// bypasses Rnets containing no objects by relaxing their shortcuts instead
+// of exploring their interiors (Algorithms 5 and 6).
+//
+// Shortcuts of an Rnet store distances constrained to that Rnet's subgraph,
+// computed bottom-up: leaf Rnets by Dijkstra on their subgraphs, inner
+// Rnets over the border graph assembled from child shortcut cliques plus
+// cut edges. Constrained distances suffice for correctness because the
+// expansion itself stitches together path segments that leave and re-enter
+// an Rnet through its borders.
+//
+// The Appendix A.3 improvement — not re-inserting shortcut targets that are
+// already settled — is applied.
+package road
+
+import (
+	"rnknn/internal/bitset"
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+	"rnknn/internal/partition"
+	"rnknn/internal/pqueue"
+)
+
+const inf32 int32 = 1 << 30
+
+// Index is a built ROAD index (the Route Overlay: partition hierarchy plus
+// the global shortcut array).
+type Index struct {
+	G  *graph.Graph
+	PT *partition.Tree
+	// Levels is the hierarchy depth the index was built with.
+	Levels int
+
+	// Per partition-tree node: sorted borders, and a |B|x|B| row-major
+	// shortcut matrix laid out in one global array (Section 6.2, choice 3):
+	// shortcut row of border i of node n starts at matOff[n] + i*|B|.
+	borders [][]int32
+	shorts  []int32
+	matOff  []int32
+
+	// Route Overlay: for each vertex, the Rnets it borders with its border
+	// index, ordered from the highest (shallowest) level down, packed in
+	// CSR form. This is the per-vertex "shortcut tree" access path.
+	roOff  []int32
+	roRnet []int32
+	roBi   []int32
+}
+
+// Options configures Build.
+type Options struct {
+	// Fanout is the partition fanout (paper default 4).
+	Fanout int
+	// Levels is the Rnet hierarchy depth l (paper: 7..11 by network size).
+	// Zero derives it from the network size targeting ~16-vertex leaves.
+	Levels int
+}
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.Fanout < 2 {
+		o.Fanout = 4
+	}
+	if o.Levels <= 0 {
+		n := g.NumVertices()
+		o.Levels = 1
+		for size := float64(n); size > 16 && o.Levels < 14; size /= float64(o.Fanout) {
+			o.Levels++
+		}
+	}
+	return o
+}
+
+// Build constructs the ROAD index for g.
+func Build(g *graph.Graph, opts Options) *Index {
+	opts = opts.withDefaults(g)
+	pt := partition.Build(g, partition.Options{Fanout: opts.Fanout, MaxLevels: opts.Levels})
+	return BuildOnPartition(g, pt, opts.Levels)
+}
+
+// BuildOnPartition constructs ROAD over a pre-built partition tree.
+func BuildOnPartition(g *graph.Graph, pt *partition.Tree, levels int) *Index {
+	x := &Index{G: g, PT: pt, Levels: levels}
+	x.computeBorders()
+	x.computeShortcuts()
+	x.buildRouteOverlay()
+	return x
+}
+
+// buildRouteOverlay packs, per vertex, the (Rnet, border index) pairs where
+// the vertex is a border, ordered by level ascending (chain Rnets are
+// nested, so this is "highest first").
+func (x *Index) buildRouteOverlay() {
+	n := x.G.NumVertices()
+	type entry struct {
+		rnet int32
+		bi   int32
+	}
+	per := make([][]entry, n)
+	// Walk nodes in level-ascending order so per-vertex lists come out
+	// highest-level-first without sorting.
+	order := make([]int32, len(x.PT.Nodes))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && x.PT.Nodes[order[j]].Level < x.PT.Nodes[order[j-1]].Level; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ni := range order {
+		for bi, v := range x.borders[ni] {
+			per[v] = append(per[v], entry{ni, int32(bi)})
+		}
+	}
+	x.roOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		x.roOff[v+1] = x.roOff[v] + int32(len(per[v]))
+	}
+	total := x.roOff[n]
+	x.roRnet = make([]int32, total)
+	x.roBi = make([]int32, total)
+	for v := 0; v < n; v++ {
+		base := x.roOff[v]
+		for i, e := range per[v] {
+			x.roRnet[base+int32(i)] = e.rnet
+			x.roBi[base+int32(i)] = e.bi
+		}
+	}
+}
+
+func (x *Index) computeBorders() {
+	pt := x.PT
+	sets := make([]map[int32]bool, len(pt.Nodes))
+	for u := int32(0); u < int32(x.G.NumVertices()); u++ {
+		ts, _ := x.G.Neighbors(u)
+		leafU := pt.LeafOf[u]
+		for _, v := range ts {
+			if pt.LeafOf[v] == leafU {
+				continue
+			}
+			n := leafU
+			for n != -1 && !pt.Contains(n, v) {
+				if sets[n] == nil {
+					sets[n] = make(map[int32]bool)
+				}
+				sets[n][u] = true
+				n = pt.Nodes[n].Parent
+			}
+		}
+	}
+	x.borders = make([][]int32, len(pt.Nodes))
+	for ni, m := range sets {
+		if len(m) == 0 {
+			continue
+		}
+		bs := make([]int32, 0, len(m))
+		for v := range m {
+			bs = append(bs, v)
+		}
+		for i := 1; i < len(bs); i++ { // insertion sort; border lists are small
+			for j := i; j > 0 && bs[j] < bs[j-1]; j-- {
+				bs[j], bs[j-1] = bs[j-1], bs[j]
+			}
+		}
+		x.borders[ni] = bs
+	}
+}
+
+// borderIndex returns v's index within node ni's border list, or -1.
+func (x *Index) borderIndex(ni, v int32) int32 {
+	bs := x.borders[ni]
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(bs) && bs[lo] == v {
+		return int32(lo)
+	}
+	return -1
+}
+
+// computeShortcuts fills the global shortcut array bottom-up.
+func (x *Index) computeShortcuts() {
+	pt := x.PT
+	// Allocate matrix offsets.
+	x.matOff = make([]int32, len(pt.Nodes)+1)
+	for ni := range pt.Nodes {
+		b := len(x.borders[ni])
+		x.matOff[ni+1] = x.matOff[ni] + int32(b*b)
+	}
+	x.shorts = make([]int32, x.matOff[len(pt.Nodes)])
+
+	// Bottom-up by level.
+	order := make([]int32, len(pt.Nodes))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && pt.Nodes[order[j]].Level > pt.Nodes[order[j-1]].Level; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ni := range order {
+		if pt.Nodes[ni].IsLeaf() {
+			x.leafShortcuts(ni)
+		} else {
+			x.innerShortcuts(ni)
+		}
+	}
+}
+
+// Shortcut returns the within-Rnet distance from border index bi to border
+// index bj of node ni.
+func (x *Index) Shortcut(ni, bi, bj int32) graph.Dist {
+	nb := int32(len(x.borders[ni]))
+	w := x.shorts[x.matOff[ni]+bi*nb+bj]
+	if w >= inf32 {
+		return graph.Inf
+	}
+	return graph.Dist(w)
+}
+
+func (x *Index) setShortcut(ni, bi, bj int32, d graph.Dist) {
+	nb := int32(len(x.borders[ni]))
+	w := inf32
+	if d < graph.Dist(inf32) {
+		w = int32(d)
+	}
+	x.shorts[x.matOff[ni]+bi*nb+bj] = w
+}
+
+func (x *Index) leafShortcuts(ni int32) {
+	pt := x.PT
+	verts := pt.Nodes[ni].Vertices
+	bs := x.borders[ni]
+	if len(bs) == 0 {
+		return
+	}
+	off, tgt, w := partition.ExtractCSR(x.G, verts)
+	pos := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		pos[v] = int32(i)
+	}
+	dist := make([]graph.Dist, len(verts))
+	q := pqueue.NewQueue(len(verts))
+	for bi, b := range bs {
+		for i := range dist {
+			dist[i] = graph.Inf
+		}
+		q.Reset()
+		src := pos[b]
+		dist[src] = 0
+		q.Push(src, 0)
+		for !q.Empty() {
+			it := q.Pop()
+			v := it.ID
+			d := graph.Dist(it.Key)
+			if d > dist[v] {
+				continue
+			}
+			for e := off[v]; e < off[v+1]; e++ {
+				t := tgt[e]
+				if nd := d + graph.Dist(w[e]); nd < dist[t] {
+					dist[t] = nd
+					q.Push(t, int64(nd))
+				}
+			}
+		}
+		for bj, b2 := range bs {
+			x.setShortcut(ni, int32(bi), int32(bj), dist[pos[b2]])
+		}
+	}
+}
+
+func (x *Index) innerShortcuts(ni int32) {
+	pt := x.PT
+	children := pt.Nodes[ni].Children
+	// Border graph vertices: union of child borders.
+	var cb []int32
+	pos := make(map[int32]int32)
+	for _, c := range children {
+		for _, b := range x.borders[c] {
+			if _, ok := pos[b]; !ok {
+				pos[b] = int32(len(cb))
+				cb = append(cb, b)
+			}
+		}
+	}
+	type arc struct {
+		to int32
+		w  int32
+	}
+	adj := make([][]arc, len(cb))
+	for _, c := range children {
+		bs := x.borders[c]
+		nb := int32(len(bs))
+		for i := int32(0); i < nb; i++ {
+			pi := pos[bs[i]]
+			for j := int32(0); j < nb; j++ {
+				if i == j {
+					continue
+				}
+				w := x.shorts[x.matOff[c]+i*nb+j]
+				if w < inf32 {
+					adj[pi] = append(adj[pi], arc{pos[bs[j]], w})
+				}
+			}
+		}
+	}
+	childLevel := pt.Nodes[ni].Level + 1
+	for _, u := range cb {
+		ui := pos[u]
+		ts, ws := x.G.Neighbors(u)
+		for i, v := range ts {
+			vi, ok := pos[v]
+			if !ok {
+				continue
+			}
+			if pt.PartOf(u, childLevel) != pt.PartOf(v, childLevel) {
+				adj[ui] = append(adj[ui], arc{vi, ws[i]})
+			}
+		}
+	}
+	bs := x.borders[ni]
+	dist := make([]graph.Dist, len(cb))
+	q := pqueue.NewQueue(len(cb))
+	for bi, b := range bs {
+		for i := range dist {
+			dist[i] = graph.Inf
+		}
+		q.Reset()
+		src := pos[b] // every border of ni is a border of some child
+		dist[src] = 0
+		q.Push(src, 0)
+		for !q.Empty() {
+			it := q.Pop()
+			v := it.ID
+			d := graph.Dist(it.Key)
+			if d > dist[v] {
+				continue
+			}
+			for _, a := range adj[v] {
+				if nd := d + graph.Dist(a.w); nd < dist[a.to] {
+					dist[a.to] = nd
+					q.Push(a.to, int64(nd))
+				}
+			}
+		}
+		for bj, b2 := range bs {
+			x.setShortcut(ni, int32(bi), int32(bj), dist[pos[b2]])
+		}
+	}
+}
+
+// SizeBytes estimates the index footprint (shortcut array dominates).
+func (x *Index) SizeBytes() int {
+	total := len(x.shorts)*4 + len(x.matOff)*4
+	for _, b := range x.borders {
+		total += len(b) * 4
+	}
+	return total
+}
+
+// AssociationDirectory is ROAD's decoupled object index: one bit per Rnet
+// recording whether the Rnet's subgraph contains any object (Section 3.4,
+// Figure 18 measures its size and build time).
+type AssociationDirectory struct {
+	objs *knn.ObjectSet
+	has  *bitset.Set
+	// Dynamic updates (Add/Remove) are tracked as deltas over objs.
+	extra   map[int32]bool
+	removed map[int32]bool
+}
+
+// NewAssociationDirectory builds the directory for objs.
+func (x *Index) NewAssociationDirectory(objs *knn.ObjectSet) *AssociationDirectory {
+	ad := &AssociationDirectory{objs: objs, has: bitset.New(len(x.PT.Nodes))}
+	for _, v := range objs.Vertices() {
+		for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
+			if ad.has.Get(n) {
+				break // ancestors already marked
+			}
+			ad.has.Set(n)
+		}
+	}
+	return ad
+}
+
+// HasObjects reports whether Rnet ni contains any object.
+func (ad *AssociationDirectory) HasObjects(ni int32) bool { return ad.has.Get(ni) }
+
+// IsObject reports whether v is an object vertex.
+func (ad *AssociationDirectory) IsObject(v int32) bool {
+	if ad.removed != nil && ad.removed[v] {
+		return false
+	}
+	if ad.extra != nil && ad.extra[v] {
+		return true
+	}
+	return ad.objs.Contains(v)
+}
+
+// SizeBytes estimates the directory's footprint including object storage.
+func (ad *AssociationDirectory) SizeBytes() int {
+	return ad.has.Capacity()/8 + ad.objs.Len()*4 + len(ad.extra)*8 + len(ad.removed)*8
+}
+
+// Add registers a new object vertex at query time without rebuilding (the
+// frequently-changing object sets of Section 2.2, e.g. parking spaces).
+func (ad *AssociationDirectory) Add(x *Index, v int32) {
+	if ad.IsObject(v) {
+		return
+	}
+	if ad.extra == nil {
+		ad.extra = map[int32]bool{}
+	}
+	delete(ad.removed, v)
+	ad.extra[v] = true
+	for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
+		if ad.has.Get(n) {
+			break
+		}
+		ad.has.Set(n)
+	}
+}
+
+// Remove deletes an object vertex. Rnet occupancy bits are recomputed only
+// along the vertex's ancestor chain.
+func (ad *AssociationDirectory) Remove(x *Index, v int32) bool {
+	if !ad.IsObject(v) {
+		return false
+	}
+	if ad.extra != nil && ad.extra[v] {
+		delete(ad.extra, v)
+	} else {
+		if ad.removed == nil {
+			ad.removed = map[int32]bool{}
+		}
+		ad.removed[v] = true
+	}
+	// Re-derive occupancy on the chain: an Rnet still has objects if any
+	// current object lies inside it; check cheaply per level using the
+	// object iterator.
+	for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
+		if ad.anyObjectIn(x, n) {
+			break // this and all ancestors remain occupied
+		}
+		ad.has.Clear(n)
+	}
+	return true
+}
+
+func (ad *AssociationDirectory) anyObjectIn(x *Index, n int32) bool {
+	for _, v := range ad.objs.Vertices() {
+		if !ad.removed[v] && x.PT.Contains(n, v) {
+			return true
+		}
+	}
+	for v := range ad.extra {
+		if x.PT.Contains(n, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// KNN is the ROAD kNN algorithm (Algorithm 5) bound to an association
+// directory. Not safe for concurrent use.
+type KNN struct {
+	idx     *Index
+	ad      *AssociationDirectory
+	settled *bitset.Set
+	q       *pqueue.Queue
+	dist    []graph.Dist
+	stamp   []uint32
+	cur     uint32
+	// qAnc[level] is the ancestor Rnet of the query leaf at that level,
+	// used to reject bypassing any Rnet containing the query in O(1).
+	qAnc []int32
+
+	// VerticesBypassed counts, for the last query, the total size of the
+	// Rnets bypassed via shortcuts (Figure 9b).
+	VerticesBypassed int
+}
+
+// NewKNN returns the ROAD kNN method.
+func NewKNN(idx *Index, ad *AssociationDirectory) *KNN {
+	return &KNN{
+		idx:     idx,
+		ad:      ad,
+		settled: bitset.New(idx.G.NumVertices()),
+		q:       pqueue.NewQueue(1024),
+		dist:    make([]graph.Dist, idx.G.NumVertices()),
+		stamp:   make([]uint32, idx.G.NumVertices()),
+		qAnc:    make([]int32, idx.Levels+1),
+	}
+}
+
+// Name implements knn.Method.
+func (x *KNN) Name() string { return "ROAD" }
+
+// SetObjects swaps the association directory.
+func (x *KNN) SetObjects(ad *AssociationDirectory) { x.ad = ad }
+
+// KNN implements knn.Method.
+func (x *KNN) KNN(qv int32, k int) []knn.Result {
+	idx := x.idx
+	pt := idx.PT
+	x.settled.Reset()
+	x.q.Reset()
+	x.VerticesBypassed = 0
+	x.cur++
+	if x.cur == 0 {
+		for i := range x.stamp {
+			x.stamp[i] = 0
+		}
+		x.cur = 1
+	}
+	out := make([]knn.Result, 0, k)
+
+	leafQ := pt.LeafOf[qv]
+	for i := range x.qAnc {
+		x.qAnc[i] = -1
+	}
+	for n := leafQ; n != -1; n = pt.Nodes[n].Parent {
+		x.qAnc[pt.Nodes[n].Level] = n
+	}
+	x.dist[qv] = 0
+	x.stamp[qv] = x.cur
+	x.q.Push(qv, 0)
+	for !x.q.Empty() && len(out) < k {
+		it := x.q.Pop()
+		v := it.ID
+		if x.settled.Get(v) {
+			continue
+		}
+		x.settled.Set(v)
+		d := graph.Dist(it.Key)
+		if x.ad.IsObject(v) {
+			out = append(out, knn.Result{Vertex: v, Dist: d})
+			if len(out) == k {
+				break
+			}
+		}
+		x.relaxShortcuts(v, d, qv, leafQ)
+	}
+	return out
+}
+
+// relaxShortcuts walks v's Route Overlay entries from the highest level
+// down (Algorithm 6's shortcut-tree descent): the first object-less Rnet
+// that v borders and that does not contain the query is bypassed via its
+// shortcuts; with no such Rnet, v's ordinary edges are relaxed.
+func (x *KNN) relaxShortcuts(v int32, d graph.Dist, qv, leafQ int32) {
+	idx := x.idx
+	pt := idx.PT
+	if pt.LeafOf[v] == leafQ {
+		x.relaxEdges(v, d, -1)
+		return
+	}
+	for e := idx.roOff[v]; e < idx.roOff[v+1]; e++ {
+		r := idx.roRnet[e]
+		lvl := pt.Nodes[r].Level
+		if int(lvl) < len(x.qAnc) && x.qAnc[lvl] == r {
+			continue // Rnet contains the query; cannot bypass
+		}
+		if !x.ad.HasObjects(r) {
+			x.bypass(r, idx.roBi[e], v, d)
+			return
+		}
+	}
+	x.relaxEdges(v, d, -1)
+}
+
+// bypass relaxes the shortcuts from border bi of Rnet r plus v's ordinary
+// edges that leave r.
+func (x *KNN) bypass(r, bi, v int32, d graph.Dist) {
+	idx := x.idx
+	bs := idx.borders[r]
+	nb := int32(len(bs))
+	base := idx.matOff[r] + bi*nb
+	for bj := int32(0); bj < nb; bj++ {
+		t := bs[bj]
+		// A.3 improvement: skip already-settled borders.
+		if t == v || x.settled.Get(t) {
+			continue
+		}
+		w := idx.shorts[base+bj]
+		if w >= inf32 {
+			continue
+		}
+		x.push(t, d+graph.Dist(w))
+	}
+	x.relaxEdges(v, d, r)
+	x.VerticesBypassed += len(idx.PT.Nodes[r].Vertices)
+}
+
+// relaxEdges relaxes v's ordinary edges; when skipInside >= 0, edges whose
+// target lies inside that Rnet are skipped (they are covered by shortcuts).
+func (x *KNN) relaxEdges(v int32, d graph.Dist, skipInside int32) {
+	g := x.idx.G
+	pt := x.idx.PT
+	ts, ws := g.Neighbors(v)
+	for i, t := range ts {
+		if x.settled.Get(t) {
+			continue
+		}
+		if skipInside >= 0 && pt.Contains(skipInside, t) {
+			continue
+		}
+		x.push(t, d+graph.Dist(ws[i]))
+	}
+}
+
+// push enqueues t at distance nd unless a better tentative distance is
+// already known (the same duplicate suppression INE uses).
+func (x *KNN) push(t int32, nd graph.Dist) {
+	if x.stamp[t] == x.cur && x.dist[t] <= nd {
+		return
+	}
+	x.dist[t] = nd
+	x.stamp[t] = x.cur
+	x.q.Push(t, int64(nd))
+}
+
+// BordersOf returns the border vertices of Rnet ni (tests and statistics).
+func (x *Index) BordersOf(ni int32) []int32 { return x.borders[ni] }

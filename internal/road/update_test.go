@@ -1,0 +1,84 @@
+package road_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/knn"
+	"rnknn/internal/road"
+)
+
+// TestAssociationDirectoryUpdates drives random Add/Remove operations and
+// validates kNN answers against brute force over the evolving set.
+func TestAssociationDirectoryUpdates(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "t", Rows: 14, Cols: 14, Seed: 151})
+	idx := road.Build(g, road.Options{Fanout: 4, Levels: 4})
+	rng := rand.New(rand.NewSource(2))
+
+	current := map[int32]bool{}
+	initial := gen.Uniform(g, 0.01, 6)
+	for _, v := range initial {
+		current[v] = true
+	}
+	ad := idx.NewAssociationDirectory(knn.NewObjectSet(g, initial))
+	m := road.NewKNN(idx, ad)
+
+	for step := 0; step < 50; step++ {
+		v := int32(rng.Intn(g.NumVertices()))
+		if current[v] {
+			if !ad.Remove(idx, v) {
+				t.Fatalf("Remove(%d) failed", v)
+			}
+			delete(current, v)
+		} else {
+			ad.Add(idx, v)
+			current[v] = true
+		}
+		if step%5 != 0 {
+			continue
+		}
+		var verts []int32
+		for u := range current {
+			verts = append(verts, u)
+		}
+		objs := knn.NewObjectSet(g, verts)
+		q := int32(rng.Intn(g.NumVertices()))
+		got := m.KNN(q, 5)
+		want := knn.BruteForce(g, objs, q, 5)
+		if !knn.SameResults(got, want) {
+			t.Fatalf("step %d q=%d: got %s want %s", step, q,
+				knn.FormatResults(got), knn.FormatResults(want))
+		}
+	}
+}
+
+func TestAssociationDirectoryAddRemoveCycle(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "t", Rows: 8, Cols: 8, Seed: 152})
+	idx := road.Build(g, road.Options{Fanout: 4, Levels: 3})
+	ad := idx.NewAssociationDirectory(knn.NewObjectSet(g, []int32{5}))
+	if !ad.IsObject(5) {
+		t.Fatal("initial object missing")
+	}
+	ad.Add(idx, 9)
+	if !ad.IsObject(9) {
+		t.Fatal("added object missing")
+	}
+	if !ad.Remove(idx, 5) || ad.IsObject(5) {
+		t.Fatal("base object not removed")
+	}
+	if !ad.Remove(idx, 9) || ad.IsObject(9) {
+		t.Fatal("extra object not removed")
+	}
+	// Directory must now be empty everywhere.
+	for ni := range idx.PT.Nodes {
+		if ad.HasObjects(int32(ni)) {
+			t.Fatalf("node %d still marked occupied", ni)
+		}
+	}
+	// Re-adding a removed base object works.
+	ad.Add(idx, 5)
+	if !ad.IsObject(5) || !ad.HasObjects(0) {
+		t.Fatal("re-add failed")
+	}
+}

@@ -1,0 +1,250 @@
+// Package rtree implements an in-memory R-tree over road-network vertices,
+// bulk-loaded with Sort-Tile-Recursive packing. It supports the suspendable
+// incremental Euclidean nearest-neighbor search that drives IER (Section
+// 3.2) and the DB-ENN variant of Distance Browsing (Appendix A.1.1), and it
+// doubles as the object index whose size and build time Figure 18 measures.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"rnknn/internal/geo"
+)
+
+// DefaultNodeCap is the default R-tree node capacity. The paper tuned node
+// capacity for best Euclidean kNN performance (Section 7.4).
+const DefaultNodeCap = 16
+
+// Tree is an immutable STR-packed R-tree over a set of points, each carrying
+// a user identifier (the road-network vertex of an object).
+type Tree struct {
+	nodeCap int
+	rootIdx int32
+	nodes   []node
+	// Leaf entries, STR-ordered.
+	ids []int32
+	pts []geo.Point
+}
+
+type node struct {
+	rect geo.Rect
+	// If leaf, [start,end) indexes ids/pts; else [start,end) indexes nodes.
+	start, end int32
+	leaf       bool
+}
+
+// New bulk-loads an R-tree from parallel id/point slices using STR packing
+// with the given node capacity (0 means DefaultNodeCap).
+func New(ids []int32, pts []geo.Point, nodeCap int) *Tree {
+	if len(ids) != len(pts) {
+		panic("rtree: ids and pts length mismatch")
+	}
+	if nodeCap <= 1 {
+		nodeCap = DefaultNodeCap
+	}
+	t := &Tree{nodeCap: nodeCap}
+	t.ids = append([]int32(nil), ids...)
+	t.pts = append([]geo.Point(nil), pts...)
+	if len(t.ids) == 0 {
+		return t
+	}
+	strSort(t.ids, t.pts, nodeCap)
+
+	// Build leaf level.
+	var level []int32 // node indexes of the current level
+	for start := 0; start < len(t.ids); start += nodeCap {
+		end := start + nodeCap
+		if end > len(t.ids) {
+			end = len(t.ids)
+		}
+		r := geo.EmptyRect()
+		for _, p := range t.pts[start:end] {
+			r = r.Expand(p)
+		}
+		t.nodes = append(t.nodes, node{rect: r, start: int32(start), end: int32(end), leaf: true})
+		level = append(level, int32(len(t.nodes)-1))
+	}
+	// Build internal levels until a single root remains. Children of one
+	// parent are contiguous because STR already ordered the leaves.
+	for len(level) > 1 {
+		var next []int32
+		for start := 0; start < len(level); start += nodeCap {
+			end := start + nodeCap
+			if end > len(level) {
+				end = len(level)
+			}
+			r := geo.EmptyRect()
+			for _, ni := range level[start:end] {
+				r = r.Union(t.nodes[ni].rect)
+			}
+			t.nodes = append(t.nodes, node{rect: r, start: level[start], end: level[end-1] + 1, leaf: false})
+			next = append(next, int32(len(t.nodes)-1))
+		}
+		level = next
+	}
+	t.rootIdx = level[0]
+	return t
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.ids) }
+
+// SizeBytes estimates the in-memory footprint of the tree.
+func (t *Tree) SizeBytes() int {
+	return len(t.nodes)*int(nodeBytes) + len(t.ids)*4 + len(t.pts)*16
+}
+
+const nodeBytes = 4*8 + 2*4 + 4 // rect + start/end + leaf padding
+
+// strSort orders the points by Sort-Tile-Recursive: sort by x, partition
+// into vertical slabs of sqrt(n/cap) tiles, sort each slab by y.
+func strSort(ids []int32, pts []geo.Point, cap int) {
+	n := len(ids)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return pts[idx[a]].X < pts[idx[b]].X })
+	leaves := (n + cap - 1) / cap
+	slabs := int(math.Ceil(math.Sqrt(float64(leaves))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (n + slabs - 1) / slabs
+	for s := 0; s < n; s += slabSize {
+		e := s + slabSize
+		if e > n {
+			e = n
+		}
+		sub := idx[s:e]
+		sort.Slice(sub, func(a, b int) bool { return pts[sub[a]].Y < pts[sub[b]].Y })
+	}
+	outIDs := make([]int32, n)
+	outPts := make([]geo.Point, n)
+	for i, j := range idx {
+		outIDs[i] = ids[j]
+		outPts[i] = pts[j]
+	}
+	copy(ids, outIDs)
+	copy(pts, outPts)
+}
+
+// Neighbor is one result of a Euclidean nearest-neighbor scan.
+type Neighbor struct {
+	ID   int32
+	Pt   geo.Point
+	Dist float64
+}
+
+// scanItem is an entry of the scan's priority queue, holding either an
+// R-tree node (node >= 0) or a leaf point entry (node == -1, ent set).
+type scanItem struct {
+	key  float64
+	node int32 // -1 for a point entry
+	ent  int32
+}
+
+// Scanner is a suspendable best-first incremental nearest-neighbor search
+// (Hjaltason & Samet). Next returns neighbors in nondecreasing Euclidean
+// distance; the scan retains its priority queue between calls, which is the
+// property IER's candidate loop relies on.
+type Scanner struct {
+	t     *Tree
+	from  geo.Point
+	items []scanItem
+}
+
+// NewScan starts an incremental Euclidean NN scan from p.
+func (t *Tree) NewScan(p geo.Point) *Scanner {
+	s := &Scanner{t: t, from: p}
+	if len(t.nodes) > 0 {
+		s.push(scanItem{key: t.nodes[t.rootIdx].rect.MinDist(p), node: t.rootIdx, ent: -1})
+	}
+	return s
+}
+
+// PeekDist returns the lower bound on the distance of the next neighbor, or
+// +Inf when the scan is exhausted. The bound is exact when the head of the
+// queue is a point.
+func (s *Scanner) PeekDist() float64 {
+	if len(s.items) == 0 {
+		return math.Inf(1)
+	}
+	return s.items[0].key
+}
+
+// Next returns the next nearest neighbor, or ok=false when exhausted.
+func (s *Scanner) Next() (Neighbor, bool) {
+	t := s.t
+	for len(s.items) > 0 {
+		it := s.pop()
+		if it.node < 0 {
+			return Neighbor{ID: t.ids[it.ent], Pt: t.pts[it.ent], Dist: it.key}, true
+		}
+		n := t.nodes[it.node]
+		if n.leaf {
+			for e := n.start; e < n.end; e++ {
+				s.push(scanItem{key: s.from.Dist(t.pts[e]), node: -1, ent: e})
+			}
+		} else {
+			for c := n.start; c < n.end; c++ {
+				s.push(scanItem{key: t.nodes[c].rect.MinDist(s.from), node: c, ent: -1})
+			}
+		}
+	}
+	return Neighbor{}, false
+}
+
+// KNearest returns the k Euclidean nearest neighbors of p (fewer if the tree
+// holds fewer points).
+func (t *Tree) KNearest(p geo.Point, k int) []Neighbor {
+	s := t.NewScan(p)
+	out := make([]Neighbor, 0, k)
+	for len(out) < k {
+		n, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (s *Scanner) push(it scanItem) {
+	s.items = append(s.items, it)
+	i := len(s.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.items[parent].key <= s.items[i].key {
+			break
+		}
+		s.items[i], s.items[parent] = s.items[parent], s.items[i]
+		i = parent
+	}
+}
+
+func (s *Scanner) pop() scanItem {
+	top := s.items[0]
+	last := len(s.items) - 1
+	s.items[0] = s.items[last]
+	s.items = s.items[:last]
+	n := len(s.items)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.items[r].key < s.items[l].key {
+			c = r
+		}
+		if s.items[c].key >= s.items[i].key {
+			break
+		}
+		s.items[i], s.items[c] = s.items[c], s.items[i]
+		i = c
+	}
+	return top
+}

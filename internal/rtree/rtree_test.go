@@ -1,0 +1,146 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rnknn/internal/geo"
+)
+
+func randomPoints(n int, seed int64) ([]int32, []geo.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]int32, n)
+	pts := make([]geo.Point, n)
+	for i := range ids {
+		ids[i] = int32(i)
+		pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	return ids, pts
+}
+
+func bruteKNN(pts []geo.Point, q geo.Point, k int) []float64 {
+	ds := make([]float64, len(pts))
+	for i, p := range pts {
+		ds[i] = q.Dist(p)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestKNearestMatchesBruteForce(t *testing.T) {
+	ids, pts := randomPoints(500, 1)
+	tr := New(ids, pts, 8)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		q := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		k := 1 + rng.Intn(20)
+		got := tr.KNearest(q, k)
+		want := bruteKNN(pts, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d results", k, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+				t.Fatalf("k=%d i=%d: got %v want %v", k, i, got[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestScannerMonotoneExhaustive(t *testing.T) {
+	ids, pts := randomPoints(300, 3)
+	tr := New(ids, pts, 0)
+	s := tr.NewScan(geo.Point{X: 500, Y: 500})
+	prev := -1.0
+	count := 0
+	seen := map[int32]bool{}
+	for {
+		n, ok := s.Next()
+		if !ok {
+			break
+		}
+		if n.Dist < prev {
+			t.Fatal("scan distances not monotone")
+		}
+		prev = n.Dist
+		if seen[n.ID] {
+			t.Fatalf("duplicate id %d", n.ID)
+		}
+		seen[n.ID] = true
+		count++
+	}
+	if count != 300 {
+		t.Fatalf("scan returned %d of 300", count)
+	}
+}
+
+func TestScannerSuspendResume(t *testing.T) {
+	ids, pts := randomPoints(200, 4)
+	tr := New(ids, pts, 0)
+	q := geo.Point{X: 10, Y: 10}
+	s := tr.NewScan(q)
+	var first []Neighbor
+	for i := 0; i < 5; i++ {
+		n, _ := s.Next()
+		first = append(first, n)
+	}
+	// PeekDist lower-bounds the next result.
+	peek := s.PeekDist()
+	n6, _ := s.Next()
+	if n6.Dist+1e-12 < peek {
+		t.Fatalf("PeekDist %v above next %v", peek, n6.Dist)
+	}
+	// All returned so far must equal a fresh scan's prefix.
+	fresh := tr.KNearest(q, 6)
+	for i := range first {
+		if fresh[i].Dist != first[i].Dist {
+			t.Fatal("suspended scan diverged from fresh scan")
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr := New(nil, nil, 0)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if got := tr.KNearest(geo.Point{}, 3); len(got) != 0 {
+		t.Fatal("empty tree returned results")
+	}
+	tr1 := New([]int32{42}, []geo.Point{{X: 1, Y: 2}}, 0)
+	got := tr1.KNearest(geo.Point{X: 1, Y: 2}, 5)
+	if len(got) != 1 || got[0].ID != 42 || got[0].Dist != 0 {
+		t.Fatalf("single tree: %+v", got)
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	ids, pts := randomPoints(1000, 5)
+	big := New(ids, pts, 0)
+	small := New(ids[:10], pts[:10], 0)
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Fatal("SizeBytes not monotone in tree size")
+	}
+}
+
+func TestFirstNeighborNearestProperty(t *testing.T) {
+	f := func(seed int64, qx, qy uint16) bool {
+		n := 50 + int(seed%100+100)%100
+		ids, pts := randomPoints(n, seed)
+		tr := New(ids, pts, 4)
+		q := geo.Point{X: float64(qx % 1000), Y: float64(qy % 1000)}
+		got := tr.KNearest(q, 1)
+		want := bruteKNN(pts, q, 1)
+		return len(got) == 1 && math.Abs(got[0].Dist-want[0]) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package tnr_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/ch"
+	"rnknn/internal/dijkstra"
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/internal/tnr"
+)
+
+func testGraph(t testing.TB, seed int64, rows, cols int) *graph.Graph {
+	t.Helper()
+	return gen.Network(gen.NetworkSpec{Name: "t", Rows: rows, Cols: cols, Seed: seed})
+}
+
+func TestDistanceMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 101, 16, 16)
+	x := tnr.Build(g, nil, tnr.Options{})
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+	if x.TableHits == 0 {
+		t.Fatal("no query used the transit table")
+	}
+	if x.LocalHits == 0 {
+		t.Fatal("no query used the local cones")
+	}
+}
+
+func TestDistanceTravelTime(t *testing.T) {
+	g := testGraph(t, 102, 14, 14).View(graph.TravelTime)
+	x := tnr.Build(g, nil, tnr.Options{})
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("time d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestSharedHierarchyAndOptions(t *testing.T) {
+	g := testGraph(t, 103, 12, 12)
+	h := ch.Build(g)
+	x := tnr.Build(g, h, tnr.Options{NumTransit: 16})
+	if x.NumTransit() != 16 {
+		t.Fatalf("NumTransit = %d", x.NumTransit())
+	}
+	solver := dijkstra.NewSolver(g)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		s := int32(rng.Intn(g.NumVertices()))
+		tv := int32(rng.Intn(g.NumVertices()))
+		if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+			t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+		}
+	}
+}
+
+func TestTransitLargerThanGraph(t *testing.T) {
+	g := testGraph(t, 104, 5, 5)
+	x := tnr.Build(g, nil, tnr.Options{NumTransit: 10_000})
+	if x.NumTransit() != g.NumVertices() {
+		t.Fatalf("NumTransit = %d, want clamped to |V|", x.NumTransit())
+	}
+	solver := dijkstra.NewSolver(g)
+	for s := int32(0); s < 5; s++ {
+		for tv := int32(0); tv < int32(g.NumVertices()); tv += 3 {
+			if got, want := x.Distance(s, tv), solver.Distance(s, tv); got != want {
+				t.Fatalf("d(%d,%d) = %d, want %d", s, tv, got, want)
+			}
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	g := testGraph(t, 105, 10, 10)
+	x := tnr.Build(g, nil, tnr.Options{})
+	if x.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes must be positive")
+	}
+}
