@@ -11,14 +11,17 @@
 package rnknn
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rnknn/internal/bitset"
 	"rnknn/internal/exp"
 	"rnknn/internal/gen"
 	"rnknn/internal/pqueue"
+	api "rnknn/pkg/rnknn"
 )
 
 // benchCfg is the full-scale harness configuration used by every experiment
@@ -131,6 +134,110 @@ func BenchmarkSettledMap(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- Public API: pooled concurrent query throughput ---
+
+// benchDB lazily opens one shared DB (G-tree, PHL and INE over a ~7k-vertex
+// network) reused by every DB benchmark, mirroring how the experiment
+// harness caches indexes.
+var benchDB = struct {
+	once sync.Once
+	db   *api.DB
+	qs   []int32
+}{}
+
+func sharedBenchDB(b *testing.B) (*api.DB, []int32) {
+	benchDB.once.Do(func() {
+		g := gen.Network(gen.NetworkSpec{Name: "dbbench", Rows: 48, Cols: 60, Seed: 13})
+		db, err := api.Open(g,
+			api.WithMethods(api.INE, api.IERPHL, api.Gtree),
+			api.WithObjects(api.DefaultCategory, gen.Uniform(g, 0.001, 21)))
+		if err != nil {
+			panic(err)
+		}
+		benchDB.db = db
+		benchDB.qs = gen.QueryVertices(g, 256, 17)
+	})
+	if benchDB.db == nil {
+		b.Fatal("shared bench DB failed to open")
+	}
+	return benchDB.db, benchDB.qs
+}
+
+// BenchmarkDBConcurrentKNN measures pooled-session throughput of the public
+// db.KNN under RunParallel, one sub-benchmark per method, so future PRs can
+// track how the session pool scales with parallelism (compare ns/op across
+// -cpu values).
+func BenchmarkDBConcurrentKNN(b *testing.B) {
+	db, qs := sharedBenchDB(b)
+	ctx := context.Background()
+	for _, m := range db.Methods() {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var next atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					q := qs[next.Add(1)%uint64(len(qs))]
+					if _, err := db.KNN(ctx, q, 10, api.WithMethod(m)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDBConcurrentRange is the range-query companion (always INE).
+func BenchmarkDBConcurrentRange(b *testing.B) {
+	db, qs := sharedBenchDB(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	var next atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := qs[next.Add(1)%uint64(len(qs))]
+			if _, err := db.Range(ctx, q, 20000); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkDBConcurrentMixedSwap stresses the contended path the API is
+// designed for: parallel kNN queries racing a category re-registration
+// every 64 operations.
+func BenchmarkDBConcurrentMixedSwap(b *testing.B) {
+	db, qs := sharedBenchDB(b)
+	g := db.Graph()
+	setA := gen.Uniform(g, 0.001, 21)
+	setB := gen.Uniform(g, 0.002, 34)
+	ctx := context.Background()
+	b.ReportAllocs()
+	var next atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			if i%64 == 0 {
+				set := setA
+				if (i/64)%2 == 1 {
+					set = setB
+				}
+				if err := db.RegisterObjects(api.DefaultCategory, set); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			q := qs[i%uint64(len(qs))]
+			if _, err := db.KNN(ctx, q, 10, api.WithMethod(api.Gtree)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkNetworkGeneration tracks the generator itself so dataset setup

@@ -1,60 +1,60 @@
 // Command knnquery answers one kNN query on a generated network with a
-// chosen method, printing the results and basic timings — a minimal
-// end-to-end exercise of the library.
+// chosen method through the public rnknn API, printing the results and
+// basic timings — a minimal end-to-end exercise of the library.
 //
 //	knnquery -network NW -method IER-PHL -k 10 -density 0.001 -q 123
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"rnknn/internal/core"
 	"rnknn/internal/gen"
 	"rnknn/internal/graph"
-	"rnknn/internal/knn"
+	"rnknn/pkg/rnknn"
 )
 
 func main() {
 	var (
 		network = flag.String("network", "NW", "ladder network name")
-		method  = flag.String("method", "Gtree", "method name (INE, IER-Dijk, IER-CH, IER-TNR, IER-PHL, IER-Gt, Gtree, ROAD, DisBrw)")
-		k       = flag.Int("k", 10, "number of neighbors")
-		density = flag.Float64("density", 0.001, "uniform object density")
-		q       = flag.Int("q", -1, "query vertex (default: random)")
+		method  = flag.String("method", "Gtree", "method name ("+strings.Join(rnknn.MethodNames(), ", ")+")")
+		k       = flag.Int("k", 10, "number of neighbors (> 0)")
+		density = flag.Float64("density", 0.001, "uniform object density in (0,1]")
+		q       = flag.Int("q", -1, "query vertex (default: middle vertex)")
 		timeW   = flag.Bool("traveltime", false, "use travel-time weights")
 	)
 	flag.Parse()
 
+	if *k <= 0 {
+		usageExit("-k must be > 0, got %d", *k)
+	}
+	if *density <= 0 || *density > 1 {
+		usageExit("-density must be in (0,1], got %g", *density)
+	}
+	m, err := rnknn.ParseMethod(*method)
+	if err != nil {
+		usageExit("%v", err)
+	}
 	spec, ok := gen.LadderSpec(*network)
 	if !ok {
-		fmt.Fprintln(os.Stderr, "unknown network", *network)
-		os.Exit(1)
+		usageExit("unknown network %q", *network)
 	}
 	g := gen.Network(spec)
 	if *timeW {
 		g = g.View(graph.TravelTime)
 	}
-	var kind core.MethodKind
-	found := false
-	for _, c := range core.Kinds() {
-		if c.String() == *method {
-			kind, found = c, true
-		}
-	}
-	if !found {
-		fmt.Fprintln(os.Stderr, "unknown method", *method)
-		os.Exit(1)
-	}
 
-	e := core.New(g)
-	objs := knn.NewObjectSet(g, gen.Uniform(g, *density, 42))
 	start := time.Now()
-	m, err := e.NewMethod(kind, objs)
+	db, err := rnknn.Open(g,
+		rnknn.WithMethods(m),
+		rnknn.WithObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, 42)),
+	)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "build:", err)
+		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
 	}
 	buildTime := time.Since(start)
@@ -64,19 +64,38 @@ func main() {
 		qv = int32(g.NumVertices() / 2)
 	}
 	start = time.Now()
-	results := m.KNN(qv, *k)
+	results, err := db.KNN(context.Background(), qv, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "query:", err)
+		os.Exit(1)
+	}
 	queryTime := time.Since(start)
 
+	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
 	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
-	fmt.Printf("objects: %d (density %g)\n", objs.Len(), *density)
-	fmt.Printf("method %s built in %s; query from vertex %d took %s\n", m.Name(), buildTime.Round(time.Millisecond), qv, queryTime)
+	fmt.Printf("objects: %d (density %g)\n", numObjects, *density)
+	fmt.Printf("method %s built in %s; query from vertex %d took %s\n", m, buildTime.Round(time.Millisecond), qv, queryTime)
 	for i, r := range results {
 		fmt.Printf("  %2d. vertex %-8d network distance %d\n", i+1, r.Vertex, r.Dist)
 	}
-	want := knn.BruteForce(g, objs, qv, *k)
-	if knn.SameResults(results, want) {
+	want, err := db.BruteForceKNN(qv, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+	if rnknn.SameResults(results, want) {
 		fmt.Println("verified against brute-force expansion: OK")
 	} else {
-		fmt.Println("MISMATCH vs brute force:", knn.FormatResults(want))
+		fmt.Println("MISMATCH vs brute force:", rnknn.FormatResults(want))
 	}
+}
+
+// usageExit prints the error, the flag defaults and the valid method names,
+// then exits with status 2 (flag's own usage convention).
+func usageExit(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n\n", args...)
+	fmt.Fprintf(os.Stderr, "usage of %s:\n", os.Args[0])
+	flag.PrintDefaults()
+	fmt.Fprintln(os.Stderr, "\nvalid methods:", strings.Join(rnknn.MethodNames(), ", "))
+	os.Exit(2)
 }

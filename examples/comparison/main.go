@@ -1,62 +1,67 @@
-// Comparison: a miniature of the paper's whole study. Build every method
-// over one network and object set, verify they agree with brute force, and
-// print per-method timings — a sanity harness for adopters choosing a
-// method for their workload.
+// Comparison: a miniature of the paper's whole study through the public
+// API. Open a DB with every method over one network and object set, verify
+// each agrees with brute force, and print per-method timings from DB.Stats
+// — a sanity harness for adopters choosing a method for their workload.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"rnknn/internal/core"
 	"rnknn/internal/gen"
-	"rnknn/internal/knn"
+	"rnknn/pkg/rnknn"
 )
 
 func main() {
 	g := gen.Network(gen.NetworkSpec{Name: "bench", Rows: 48, Cols: 60, Seed: 8})
-	engine := core.New(g)
-	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.001, 9))
+	// Every method except DisBrw-OH (same SILC index as DisBrw; kept for
+	// the fig19 ablation). SILC's quadratic build dominates Open here.
+	methods := []rnknn.Method{
+		rnknn.INE, rnknn.IERDijk, rnknn.IERCH, rnknn.IERTNR, rnknn.IERPHL,
+		rnknn.IERGt, rnknn.Gtree, rnknn.ROAD, rnknn.DisBrw,
+	}
+	start := time.Now()
+	db, err := rnknn.Open(g, rnknn.WithMethods(methods...),
+		rnknn.WithObjects(rnknn.DefaultCategory, gen.Uniform(g, 0.001, 9)))
+	if err != nil {
+		panic(err)
+	}
+	openTime := time.Since(start)
+
 	queries := gen.QueryVertices(g, 50, 10)
 	k := 10
+	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
+	fmt.Printf("network: %d vertices; objects: %d; k=%d; %d queries; all indexes built in %s\n\n",
+		g.NumVertices(), numObjects, k, len(queries), openTime.Round(time.Millisecond))
+	fmt.Printf("%-10s %12s %12s %8s\n", "method", "index build", "us/query", "correct")
 
-	fmt.Printf("network: %d vertices; objects: %d; k=%d; %d queries\n\n",
-		g.NumVertices(), objs.Len(), k, len(queries))
-	fmt.Printf("%-10s %12s %12s %8s\n", "method", "build", "us/query", "correct")
-
-	for _, kind := range core.Kinds() {
-		if kind == core.DisBrwOH {
-			continue // same index as DisBrw; kept for the fig19 ablation
-		}
-		start := time.Now()
-		m, err := engine.NewMethod(kind, objs)
-		if err != nil {
-			panic(err)
-		}
-		build := time.Since(start)
-
+	ctx := context.Background()
+	indexFor := map[rnknn.Method]string{
+		rnknn.IERCH: "CH", rnknn.IERTNR: "TNR", rnknn.IERPHL: "PHL",
+		rnknn.IERGt: "Gtree", rnknn.Gtree: "Gtree", rnknn.ROAD: "ROAD", rnknn.DisBrw: "SILC",
+	}
+	stats := db.Stats()
+	for _, m := range db.Methods() {
 		correct := true
-		start = time.Now()
 		for _, q := range queries {
-			got := m.KNN(q, k)
-			if !knn.SameResults(got, knn.BruteForce(g, objs, q, k)) {
+			got, err := db.KNN(ctx, q, k, rnknn.WithMethod(m))
+			if err != nil {
+				panic(err)
+			}
+			want, err := db.BruteForceKNN(q, k)
+			if err != nil {
+				panic(err)
+			}
+			if !rnknn.SameResults(got, want) {
 				correct = false
 			}
 		}
-		// Subtract nothing: brute force runs outside the timed loop below.
-		elapsed := time.Since(start)
-
-		// Re-run timed without verification for a clean number.
-		start = time.Now()
-		for _, q := range queries {
-			m.KNN(q, k)
-		}
-		elapsed = time.Since(start)
-
-		fmt.Printf("%-10s %12s %12.1f %8v\n",
-			m.Name(), build.Round(time.Millisecond),
-			float64(elapsed.Microseconds())/float64(len(queries)), correct)
+		build := stats.Indexes[indexFor[m]].BuildTime
+		ms := db.Stats().Methods[m.String()]
+		perQuery := float64(ms.TotalLatency.Microseconds()) / float64(ms.KNNQueries)
+		fmt.Printf("%-10s %12s %12.1f %8v\n", m, build.Round(time.Millisecond), perQuery, correct)
 	}
-	fmt.Println("\nbuild times are incremental: methods sharing an index (IER-CH,")
+	fmt.Println("\nindex build times are shared: methods over the same index (IER-CH,")
 	fmt.Println("IER-TNR, IER-PHL share the contraction hierarchy) reuse it.")
 }

@@ -1,62 +1,71 @@
 // POI finder: the decoupled-indexing scenario that motivates the paper
-// (Section 2.2). One road network index serves many object sets — schools,
-// hospitals, fast food — each with its own cheap object index, swapped at
-// query time. The example answers "nearest hospital / fast food / school"
-// from the same G-tree and compares IER-PHL on the same workload.
+// (Section 2.2). One road network index serves many object categories —
+// schools, hospitals, fast food — each registered as a named set with its
+// own cheap object index, selected per query. The example answers "nearest
+// hospital / fast food / school" from the same G-tree and cross-checks
+// IER-PHL on the same workload.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"rnknn/internal/core"
 	"rnknn/internal/gen"
-	"rnknn/internal/knn"
+	"rnknn/pkg/rnknn"
 )
 
 func main() {
 	g := gen.Network(gen.NetworkSpec{Name: "city", Rows: 68, Cols: 84, Seed: 3})
-	engine := core.New(g)
 	fmt.Printf("city network: %d vertices\n\n", g.NumVertices())
 
-	// Eight POI categories with the paper's Table 2 densities.
-	categories := gen.POICategories(g, 7)
-
-	// The road network index is built once...
+	// The road network indexes are built once, at Open...
 	start := time.Now()
-	engine.GtreeIndex()
-	fmt.Printf("G-tree built once in %s\n", time.Since(start).Round(time.Millisecond))
+	db, err := rnknn.Open(g, rnknn.WithMethods(rnknn.Gtree, rnknn.IERPHL))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("G-tree and PHL built once in %s\n", time.Since(start).Round(time.Millisecond))
 
-	// ...then each object set needs only its own occurrence list.
-	queries := gen.QueryVertices(g, 3, 11)
-	for _, cat := range categories[:4] {
-		objs := knn.NewObjectSet(g, cat.Vertices)
+	// ...then each category needs only its own object index.
+	categories := gen.POICategories(g, 7)[:4]
+	for _, cat := range categories {
 		start = time.Now()
-		m, err := engine.NewMethod(core.Gtree, objs)
-		if err != nil {
+		if err := db.RegisterObjects(cat.Name, cat.Vertices); err != nil {
 			panic(err)
 		}
-		objIndexTime := time.Since(start)
-		fmt.Printf("\n%s (%d objects; object index in %s):\n", cat.Name, objs.Len(), objIndexTime)
+		n, _ := db.NumObjects(cat.Name)
+		fmt.Printf("registered %-10s %5d objects (object index in %s)\n", cat.Name, n, time.Since(start))
+	}
+
+	ctx := context.Background()
+	queries := gen.QueryVertices(g, 3, 11)
+	for _, cat := range categories {
+		fmt.Printf("\n%s:\n", cat.Name)
 		for _, q := range queries {
-			res := m.KNN(q, 3)
-			fmt.Printf("  from %-6d nearest 3: %s\n", q, knn.FormatResults(res))
+			res, err := db.KNN(ctx, q, 3, rnknn.WithCategory(cat.Name))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  from %-6d nearest 3: %s\n", q, rnknn.FormatResults(res))
 		}
 	}
 
-	// The same object sets work with any other method; IER-PHL is the
-	// paper's overall winner.
-	fmt.Println("\ncross-check with IER-PHL (same object sets, same answers):")
-	for _, cat := range categories[:4] {
-		objs := knn.NewObjectSet(g, cat.Vertices)
-		m, err := engine.NewMethod(core.IERPHL, objs)
-		if err != nil {
-			panic(err)
-		}
+	// The same categories work with any other enabled method; IER-PHL is
+	// the paper's overall winner.
+	fmt.Println("\ncross-check with IER-PHL (same categories, same answers):")
+	for _, cat := range categories {
 		agree := true
-		gt, _ := engine.NewMethod(core.Gtree, objs)
 		for _, q := range queries {
-			if !knn.SameResults(m.KNN(q, 3), gt.KNN(q, 3)) {
+			a, err := db.KNN(ctx, q, 3, rnknn.WithCategory(cat.Name), rnknn.WithMethod(rnknn.IERPHL))
+			if err != nil {
+				panic(err)
+			}
+			b, err := db.KNN(ctx, q, 3, rnknn.WithCategory(cat.Name), rnknn.WithMethod(rnknn.Gtree))
+			if err != nil {
+				panic(err)
+			}
+			if !rnknn.SameResults(a, b) {
 				agree = false
 			}
 		}

@@ -1,13 +1,14 @@
-// Quickstart: generate a road network, build a G-tree, and answer a kNN
-// query — the minimal end-to-end use of the library.
+// Quickstart: generate a road network, open a DB with a G-tree, register
+// an object set and answer kNN queries — the minimal end-to-end use of the
+// public API.
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"rnknn/internal/core"
 	"rnknn/internal/gen"
-	"rnknn/internal/knn"
+	"rnknn/pkg/rnknn"
 )
 
 func main() {
@@ -16,22 +17,28 @@ func main() {
 	g := gen.Network(gen.NetworkSpec{Name: "quickstart", Rows: 48, Cols: 60, Seed: 1})
 	fmt.Printf("road network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges()/2)
 
-	// 0.1%% of vertices host objects (the paper's default density).
-	objects := knn.NewObjectSet(g, gen.Uniform(g, 0.001, 2))
-	fmt.Printf("object set: %d objects\n", objects.Len())
-
-	// The Engine lazily builds each road-network index once and binds
-	// methods to interchangeable object sets.
-	engine := core.New(g)
-	method, err := engine.NewMethod(core.Gtree, objects)
+	// Open builds the G-tree once; the DB is safe for concurrent queries.
+	db, err := rnknn.Open(g, rnknn.WithMethods(rnknn.Gtree))
 	if err != nil {
 		panic(err)
 	}
 
+	// 0.1% of vertices host objects (the paper's default density).
+	// Categories can be re-registered at any time, even mid-query.
+	if err := db.RegisterObjects(rnknn.DefaultCategory, gen.Uniform(g, 0.001, 2)); err != nil {
+		panic(err)
+	}
+	n, _ := db.NumObjects(rnknn.DefaultCategory)
+	fmt.Printf("object set: %d objects\n", n)
+
+	ctx := context.Background()
 	query := int32(g.NumVertices() / 3)
 	for _, k := range []int{1, 5, 10} {
-		results := method.KNN(query, k)
-		fmt.Printf("k=%-2d -> %s\n", k, knn.FormatResults(results))
+		results, err := db.KNN(ctx, query, k)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("k=%-2d -> %s\n", k, rnknn.FormatResults(results))
 	}
-	fmt.Println("G-tree build time:", engine.BuildTimes["Gtree"].Round(1e6))
+	fmt.Println("G-tree build time:", db.Stats().Indexes["Gtree"].BuildTime.Round(1e6))
 }

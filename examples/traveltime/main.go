@@ -5,34 +5,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"rnknn/internal/core"
 	"rnknn/internal/gen"
 	"rnknn/internal/graph"
-	"rnknn/internal/knn"
+	"rnknn/pkg/rnknn"
 )
 
 func main() {
 	base := gen.Network(gen.NetworkSpec{Name: "metro", Rows: 48, Cols: 60, Seed: 5})
 	objects := gen.Uniform(base, 0.001, 6)
 	query := int32(base.NumVertices() / 4)
+	ctx := context.Background()
 
 	for _, kind := range []graph.WeightKind{graph.TravelDistance, graph.TravelTime} {
 		g := base.View(kind)
-		engine := core.New(g)
-		objs := knn.NewObjectSet(g, objects)
-		m, err := engine.NewMethod(core.IERPHL, objs)
+		db, err := rnknn.Open(g,
+			rnknn.WithMethods(rnknn.IERPHL, rnknn.INE),
+			rnknn.WithObjects(rnknn.DefaultCategory, objects))
+		if err != nil {
+			panic(err)
+		}
+		res, err := db.KNN(ctx, query, 5)
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("%s weights (S=%.2f): nearest 5 to vertex %d:\n", kind, g.MaxSpeed(), query)
-		for i, r := range m.KNN(query, 5) {
+		for i, r := range res {
 			fmt.Printf("  %d. vertex %-7d %s %d\n", i+1, r.Vertex, kind, r.Dist)
 		}
 		// Every method returns the same answer on the same weights.
-		ine, _ := engine.NewMethod(core.INE, objs)
-		if !knn.SameResults(m.KNN(query, 5), ine.KNN(query, 5)) {
+		check, err := db.KNN(ctx, query, 5, rnknn.WithMethod(rnknn.INE))
+		if err != nil {
+			panic(err)
+		}
+		if !rnknn.SameResults(res, check) {
 			panic("methods disagree")
 		}
 	}

@@ -1,0 +1,3 @@
+module rnknn
+
+go 1.24

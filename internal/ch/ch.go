@@ -24,11 +24,9 @@ type Index struct {
 	// Shortcuts counts the shortcut edges added during preprocessing.
 	Shortcuts int
 
-	// Reusable query state.
-	distF, distB   []graph.Dist
-	stampF, stampB []uint32
-	cur            uint32
-	qf, qb         *pqueue.Queue
+	// def is the searcher Distance delegates to; concurrent callers create
+	// their own with NewSearcher.
+	def *Searcher
 
 	// Reusable upward-search state (separate from query state so index
 	// construction helpers do not disturb in-flight queries).
@@ -37,6 +35,35 @@ type Index struct {
 	curU   uint32
 	qu     *pqueue.Queue
 }
+
+// Searcher holds the bidirectional-Dijkstra state of one query session over
+// an Index. The Index itself is immutable after Build, so any number of
+// Searchers may query it concurrently; a single Searcher is not safe for
+// concurrent use.
+type Searcher struct {
+	x              *Index
+	distF, distB   []graph.Dist
+	stampF, stampB []uint32
+	cur            uint32
+	qf, qb         *pqueue.Queue
+}
+
+// NewSearcher returns a fresh query session over the index.
+func (x *Index) NewSearcher() *Searcher {
+	n := len(x.rank)
+	return &Searcher{
+		x:      x,
+		distF:  make([]graph.Dist, n),
+		distB:  make([]graph.Dist, n),
+		stampF: make([]uint32, n),
+		stampB: make([]uint32, n),
+		qf:     pqueue.NewQueue(256),
+		qb:     pqueue.NewQueue(256),
+	}
+}
+
+// Name implements knn.DistanceOracle.
+func (s *Searcher) Name() string { return "CH" }
 
 // Name implements knn.DistanceOracle.
 func (x *Index) Name() string { return "CH" }
@@ -159,12 +186,7 @@ func Build(g *graph.Graph) *Index {
 		pos[lo]++
 	}
 
-	x.distF = make([]graph.Dist, n)
-	x.distB = make([]graph.Dist, n)
-	x.stampF = make([]uint32, n)
-	x.stampB = make([]uint32, n)
-	x.qf = pqueue.NewQueue(256)
-	x.qb = pqueue.NewQueue(256)
+	x.def = x.NewSearcher()
 	x.distU = make([]graph.Dist, n)
 	x.stampU = make([]uint32, n)
 	x.qu = pqueue.NewQueue(256)
@@ -302,84 +324,89 @@ func (ws *witnessSearch) run(adj [][]dynEdge, contracted []bool, src, avoid int3
 	}
 }
 
+// Distance implements knn.DistanceOracle via the index's default searcher;
+// it is not safe for concurrent use (concurrent callers use NewSearcher).
+func (x *Index) Distance(s, t int32) graph.Dist { return x.def.Distance(s, t) }
+
 // Distance implements knn.DistanceOracle: a bidirectional upward Dijkstra.
-func (x *Index) Distance(s, t int32) graph.Dist {
+func (sr *Searcher) Distance(s, t int32) graph.Dist {
 	if s == t {
 		return 0
 	}
-	x.cur++
-	if x.cur == 0 {
-		for i := range x.stampF {
-			x.stampF[i] = 0
-			x.stampB[i] = 0
+	x := sr.x
+	sr.cur++
+	if sr.cur == 0 {
+		for i := range sr.stampF {
+			sr.stampF[i] = 0
+			sr.stampB[i] = 0
 		}
-		x.cur = 1
+		sr.cur = 1
 	}
-	x.qf.Reset()
-	x.qb.Reset()
-	x.setF(s, 0)
-	x.setB(t, 0)
-	x.qf.Push(s, 0)
-	x.qb.Push(t, 0)
+	sr.qf.Reset()
+	sr.qb.Reset()
+	sr.setF(s, 0)
+	sr.setB(t, 0)
+	sr.qf.Push(s, 0)
+	sr.qb.Push(t, 0)
 	best := graph.Inf
-	for !x.qf.Empty() || !x.qb.Empty() {
-		if min := graph.Dist(x.qf.MinKey()); !x.qf.Empty() && min < best {
-			it := x.qf.Pop()
+	for !sr.qf.Empty() || !sr.qb.Empty() {
+		if min := graph.Dist(sr.qf.MinKey()); !sr.qf.Empty() && min < best {
+			it := sr.qf.Pop()
 			v := it.ID
 			d := graph.Dist(it.Key)
-			if d == x.fOf(v) {
-				if bd := x.bOf(v); bd != graph.Inf && d+bd < best {
+			if d == sr.fOf(v) {
+				if bd := sr.bOf(v); bd != graph.Inf && d+bd < best {
 					best = d + bd
 				}
 				for e := x.upOff[v]; e < x.upOff[v+1]; e++ {
 					u := x.upTo[e]
-					if nd := d + graph.Dist(x.upW[e]); nd < x.fOf(u) {
-						x.setF(u, nd)
-						x.qf.Push(u, int64(nd))
+					if nd := d + graph.Dist(x.upW[e]); nd < sr.fOf(u) {
+						sr.setF(u, nd)
+						sr.qf.Push(u, int64(nd))
 					}
 				}
 			}
-		} else if !x.qf.Empty() {
-			x.qf.Reset()
+		} else if !sr.qf.Empty() {
+			sr.qf.Reset()
 		}
-		if min := graph.Dist(x.qb.MinKey()); !x.qb.Empty() && min < best {
-			it := x.qb.Pop()
+		if min := graph.Dist(sr.qb.MinKey()); !sr.qb.Empty() && min < best {
+			it := sr.qb.Pop()
 			v := it.ID
 			d := graph.Dist(it.Key)
-			if d == x.bOf(v) {
-				if fd := x.fOf(v); fd != graph.Inf && d+fd < best {
+			if d == sr.bOf(v) {
+				if fd := sr.fOf(v); fd != graph.Inf && d+fd < best {
 					best = d + fd
 				}
 				for e := x.upOff[v]; e < x.upOff[v+1]; e++ {
 					u := x.upTo[e]
-					if nd := d + graph.Dist(x.upW[e]); nd < x.bOf(u) {
-						x.setB(u, nd)
-						x.qb.Push(u, int64(nd))
+					if nd := d + graph.Dist(x.upW[e]); nd < sr.bOf(u) {
+						sr.setB(u, nd)
+						sr.qb.Push(u, int64(nd))
 					}
 				}
 			}
-		} else if !x.qb.Empty() {
-			x.qb.Reset()
+		} else if !sr.qb.Empty() {
+			sr.qb.Reset()
 		}
 	}
 	return best
 }
 
-func (x *Index) setF(v int32, d graph.Dist) { x.distF[v] = d; x.stampF[v] = x.cur }
-func (x *Index) setB(v int32, d graph.Dist) { x.distB[v] = d; x.stampB[v] = x.cur }
+func (sr *Searcher) setF(v int32, d graph.Dist) { sr.distF[v] = d; sr.stampF[v] = sr.cur }
+func (sr *Searcher) setB(v int32, d graph.Dist) { sr.distB[v] = d; sr.stampB[v] = sr.cur }
 
-func (x *Index) fOf(v int32) graph.Dist {
-	if x.stampF[v] != x.cur {
+func (sr *Searcher) fOf(v int32) graph.Dist {
+	if sr.stampF[v] != sr.cur {
 		return graph.Inf
 	}
-	return x.distF[v]
+	return sr.distF[v]
 }
 
-func (x *Index) bOf(v int32) graph.Dist {
-	if x.stampB[v] != x.cur {
+func (sr *Searcher) bOf(v int32) graph.Dist {
+	if sr.stampB[v] != sr.cur {
 		return graph.Inf
 	}
-	return x.distB[v]
+	return sr.distB[v]
 }
 
 // UpwardSearch runs a full upward Dijkstra from s, invoking visit for every
@@ -434,3 +461,4 @@ func (x *Index) SizeBytes() int {
 }
 
 var _ knn.DistanceOracle = (*Index)(nil)
+var _ knn.DistanceOracle = (*Searcher)(nil)

@@ -1,20 +1,29 @@
-// Package core is the library facade: an Engine that owns a road network,
-// lazily builds each road-network index exactly once (recording build time
-// and size), and manufactures kNN methods — any of the paper's five
-// algorithms, with IER composable over any distance oracle — bound to
+// Package core is the library's engine room: an Engine that owns a road
+// network, lazily builds each road-network index exactly once (recording
+// build time and size), and manufactures kNN methods — any of the paper's
+// five algorithms, with IER composable over any distance oracle — bound to
 // interchangeable object sets (the decoupled-index design of Section 2.2).
 //
-// Typical use:
+// The public, concurrency-safe entry point to the library is pkg/rnknn: its
+// DB facade pools the query sessions manufactured here (NewSession) and
+// multiplexes concurrent callers over one Engine. Use core directly only
+// from the experiment harness and other single-goroutine internal code:
 //
 //	g := gen.Network(gen.NetworkSpec{Name: "city", Rows: 96, Cols: 120, Seed: 1})
 //	e := core.New(g)
 //	hospitals := knn.NewObjectSet(g, hospitalVertices)
 //	m, _ := e.NewMethod(core.IERPHL, hospitals)
 //	results := m.KNN(query, 10)
+//
+// Index construction is serialized by an internal mutex, so concurrent
+// sessions may trigger lazy builds safely; the methods returned by
+// NewMethod and the sessions returned by NewSession are each
+// single-goroutine objects.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rnknn/internal/ch"
@@ -104,6 +113,10 @@ type Engine struct {
 	G    *graph.Graph
 	Opts Options
 
+	// mu serializes lazy index construction (and guards BuildTimes), so
+	// concurrent query sessions may trigger first-use builds safely. The
+	// built indexes themselves are immutable and read lock-free.
+	mu   sync.Mutex
 	gt   *gtree.Index
 	rd   *road.Index
 	sc   *silc.Index
@@ -112,7 +125,9 @@ type Engine struct {
 	tnrx *tnr.Index
 
 	// BuildTimes records the wall-clock construction time of each index by
-	// name ("Gtree", "ROAD", "SILC", "CH", "PHL", "TNR").
+	// name ("Gtree", "ROAD", "SILC", "CH", "PHL", "TNR"). Read it only
+	// after the builds of interest have completed (single-goroutine
+	// harness code); concurrent readers use BuiltIndexes.
 	BuildTimes map[string]time.Duration
 }
 
@@ -129,6 +144,12 @@ func (e *Engine) timed(name string, f func()) {
 
 // GtreeIndex returns the engine's G-tree, building it on first use.
 func (e *Engine) GtreeIndex() *gtree.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gtreeLocked()
+}
+
+func (e *Engine) gtreeLocked() *gtree.Index {
 	if e.gt == nil {
 		e.timed("Gtree", func() {
 			e.gt = gtree.Build(e.G, gtree.Options{Fanout: e.Opts.GtreeFanout, Tau: e.Opts.GtreeTau})
@@ -139,6 +160,8 @@ func (e *Engine) GtreeIndex() *gtree.Index {
 
 // ROADIndex returns the engine's ROAD index, building it on first use.
 func (e *Engine) ROADIndex() *road.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.rd == nil {
 		e.timed("ROAD", func() {
 			e.rd = road.Build(e.G, road.Options{Fanout: e.Opts.RoadFanout, Levels: e.Opts.RoadLevels})
@@ -151,6 +174,8 @@ func (e *Engine) ROADIndex() *road.Index {
 // Beware the O(|V|^2 log |V|) build; the paper limits SILC to the smaller
 // networks and so does the experiment harness.
 func (e *Engine) SILCIndex() *silc.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.sc == nil {
 		e.timed("SILC", func() {
 			e.sc = silc.Build(e.G, silc.Options{Parallelism: e.Opts.SILCParallelism})
@@ -162,6 +187,12 @@ func (e *Engine) SILCIndex() *silc.Index {
 // CHIndex returns the engine's contraction hierarchy, building it on first
 // use.
 func (e *Engine) CHIndex() *ch.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.chLocked()
+}
+
+func (e *Engine) chLocked() *ch.Index {
 	if e.chx == nil {
 		e.timed("CH", func() { e.chx = ch.Build(e.G) })
 	}
@@ -171,8 +202,10 @@ func (e *Engine) CHIndex() *ch.Index {
 // PHLIndex returns the engine's hub labeling, building it on first use (the
 // contraction hierarchy is shared with CHIndex).
 func (e *Engine) PHLIndex() *phl.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.phlx == nil {
-		hierarchy := e.CHIndex()
+		hierarchy := e.chLocked()
 		e.timed("PHL", func() { e.phlx = phl.Build(e.G, hierarchy) })
 	}
 	return e.phlx
@@ -181,13 +214,67 @@ func (e *Engine) PHLIndex() *phl.Index {
 // TNRIndex returns the engine's transit-node index, building it on first
 // use (the contraction hierarchy is shared with CHIndex).
 func (e *Engine) TNRIndex() *tnr.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.tnrx == nil {
-		hierarchy := e.CHIndex()
+		hierarchy := e.chLocked()
 		e.timed("TNR", func() {
 			e.tnrx = tnr.Build(e.G, hierarchy, tnr.Options{NumTransit: e.Opts.NumTransit})
 		})
 	}
 	return e.tnrx
+}
+
+// EnsureIndex builds the road-network index a method kind depends on, if
+// any (pkg/rnknn calls this at Open so queries never pay construction).
+func (e *Engine) EnsureIndex(kind MethodKind) {
+	switch kind {
+	case IERCH:
+		e.CHIndex()
+	case IERTNR:
+		e.TNRIndex()
+	case IERPHL:
+		e.PHLIndex()
+	case IERGt, Gtree:
+		e.GtreeIndex()
+	case ROAD:
+		e.ROADIndex()
+	case DisBrw, DisBrwOH:
+		e.SILCIndex()
+	}
+}
+
+// IndexInfo describes one built road-network index for stats reporting.
+type IndexInfo struct {
+	BuildTime time.Duration
+	SizeBytes int
+}
+
+// BuiltIndexes reports every index built so far by name — the observability
+// hook behind pkg/rnknn's DB.Stats. Safe for concurrent use.
+func (e *Engine) BuiltIndexes() map[string]IndexInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := map[string]IndexInfo{}
+	if e.gt != nil {
+		out["Gtree"] = IndexInfo{e.BuildTimes["Gtree"], e.gt.SizeBytes()}
+	}
+	if e.rd != nil {
+		out["ROAD"] = IndexInfo{e.BuildTimes["ROAD"], e.rd.SizeBytes()}
+	}
+	if e.sc != nil {
+		out["SILC"] = IndexInfo{e.BuildTimes["SILC"], e.sc.SizeBytes()}
+	}
+	if e.chx != nil {
+		out["CH"] = IndexInfo{e.BuildTimes["CH"], e.chx.SizeBytes()}
+	}
+	if e.phlx != nil {
+		out["PHL"] = IndexInfo{e.BuildTimes["PHL"], e.phlx.SizeBytes()}
+	}
+	if e.tnrx != nil {
+		out["TNR"] = IndexInfo{e.BuildTimes["TNR"], e.tnrx.SizeBytes()}
+	}
+	return out
 }
 
 // NewMethod builds a kNN method of the given kind over the object set,

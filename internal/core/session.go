@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"rnknn/internal/gtree"
+	"rnknn/internal/ier"
+	"rnknn/internal/ine"
+	"rnknn/internal/knn"
+	"rnknn/internal/road"
+	"rnknn/internal/rtree"
+	"rnknn/internal/silc"
+)
+
+// Binding bundles an object set with the derived object indexes the method
+// kinds need (the decoupled-index design of Section 2.2): the Euclidean
+// R-tree for the IER family and DisBrw, the G-tree occurrence list, the
+// ROAD association directory, and the SILC object hierarchy. A Binding is
+// immutable once built and safe for concurrent use by any number of query
+// sessions; swapping object sets means building a new Binding and rebinding
+// sessions to it.
+type Binding struct {
+	Objs *knn.ObjectSet
+
+	rt *rtree.Tree
+	ol *gtree.OccurrenceList
+	ad *road.AssociationDirectory
+	oh *silc.ObjectHierarchy
+}
+
+// NewBinding builds the derived object indexes required by kinds over objs.
+// Kinds whose road-network index has not been built yet trigger the build
+// (serialized by the engine mutex).
+func (e *Engine) NewBinding(objs *knn.ObjectSet, kinds []MethodKind) *Binding {
+	b := &Binding{Objs: objs}
+	for _, k := range kinds {
+		switch k {
+		case IERDijk, IERCH, IERTNR, IERPHL, IERGt, DisBrw:
+			if b.rt == nil {
+				b.rt = ier.NewObjectTree(e.G, objs)
+			}
+		case Gtree:
+			if b.ol == nil {
+				b.ol = e.GtreeIndex().NewOccurrenceList(objs)
+			}
+		case ROAD:
+			if b.ad == nil {
+				b.ad = e.ROADIndex().NewAssociationDirectory(objs)
+			}
+		case DisBrwOH:
+			if b.oh == nil {
+				b.oh = e.SILCIndex().NewObjectHierarchy(objs, 0)
+			}
+		}
+	}
+	return b
+}
+
+// Session is a single-goroutine query session: a knn.Method whose object
+// binding can be swapped between queries. pkg/rnknn pools sessions per
+// method kind and rebinds each one to the live Binding snapshot before
+// every query, which is what makes object-set swaps safe while queries are
+// in flight.
+type Session interface {
+	knn.Method
+	// Rebind points the session at b's object set and derived indexes. It
+	// must only be called between queries.
+	Rebind(b *Binding)
+}
+
+// NewSession manufactures a fresh query session of the given kind bound to
+// b. Sessions carry their own search state (and, for IER-CH and IER-TNR,
+// their own per-session oracle state), so sessions of any mix of kinds may
+// run concurrently as long as each individual session stays on one
+// goroutine.
+func (e *Engine) NewSession(kind MethodKind, b *Binding) (Session, error) {
+	switch kind {
+	case INE:
+		return ineSession{ine.New(e.G, b.Objs)}, nil
+	case IERDijk:
+		return &ierSession{ier.NewWithTree("IER-Dijk", e.G, b.Objs, b.rt, ier.DijkstraFactory{G: e.G})}, nil
+	case IERCH:
+		// Each session owns a CH searcher: the bidirectional Dijkstra state
+		// is per-session, the hierarchy itself is shared.
+		return &ierSession{ier.NewWithTree("IER-CH", e.G, b.Objs, b.rt, ier.OracleFactory{Oracle: e.CHIndex().NewSearcher()})}, nil
+	case IERTNR:
+		return &ierSession{ier.NewWithTree("IER-TNR", e.G, b.Objs, b.rt, ier.OracleFactory{Oracle: e.TNRIndex().NewQuerier()})}, nil
+	case IERPHL:
+		return &ierSession{ier.NewWithTree("IER-PHL", e.G, b.Objs, b.rt, ier.OracleFactory{Oracle: e.PHLIndex()})}, nil
+	case IERGt:
+		return &ierSession{ier.NewWithTree("IER-Gt", e.G, b.Objs, b.rt, gtree.Factory{Idx: e.GtreeIndex()})}, nil
+	case Gtree:
+		return gtreeSession{gtree.NewKNN(e.GtreeIndex(), b.ol)}, nil
+	case ROAD:
+		return roadSession{road.NewKNN(e.ROADIndex(), b.ad)}, nil
+	case DisBrw:
+		return dbennSession{silc.NewDBENNWithTree(e.SILCIndex(), b.Objs, b.rt)}, nil
+	case DisBrwOH:
+		return disbrwSession{silc.NewDisBrw(e.SILCIndex(), b.oh)}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown method kind %v", kind)
+	}
+}
+
+// The session wrappers embed the concrete methods (promoting KNN, Name,
+// Range and SetInterrupt where available) and adapt Rebind to each method's
+// own object-swap hook.
+
+type ineSession struct{ *ine.INE }
+
+func (s ineSession) Rebind(b *Binding) { s.INE.SetObjects(b.Objs) }
+
+type ierSession struct{ *ier.IER }
+
+func (s *ierSession) Rebind(b *Binding) { s.IER.Rebind(b.Objs, b.rt) }
+
+// gtreeSession and roadSession cannot embed their methods (the embedded
+// type name KNN would shadow the KNN method), so they delegate explicitly.
+type gtreeSession struct{ m *gtree.KNN }
+
+func (s gtreeSession) Name() string                    { return s.m.Name() }
+func (s gtreeSession) KNN(q int32, k int) []knn.Result { return s.m.KNN(q, k) }
+func (s gtreeSession) Rebind(b *Binding)               { s.m.SetObjects(b.ol) }
+
+type roadSession struct{ m *road.KNN }
+
+func (s roadSession) Name() string                    { return s.m.Name() }
+func (s roadSession) KNN(q int32, k int) []knn.Result { return s.m.KNN(q, k) }
+func (s roadSession) Rebind(b *Binding)               { s.m.SetObjects(b.ad) }
+
+type dbennSession struct{ *silc.DBENN }
+
+func (s dbennSession) Rebind(b *Binding) { s.DBENN.Rebind(b.Objs, b.rt) }
+
+type disbrwSession struct{ *silc.DisBrw }
+
+func (s disbrwSession) Rebind(b *Binding) { s.DisBrw.SetObjects(b.oh) }
+
+var (
+	_ knn.RangeMethod   = ineSession{}
+	_ knn.Interruptible = ineSession{}
+	_ knn.Interruptible = (*ierSession)(nil)
+)

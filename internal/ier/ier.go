@@ -30,6 +30,10 @@ type IER struct {
 	// invSpeed = 1/S; lower bound = floor(dE * invSpeed).
 	invSpeed float64
 
+	// interrupt, when non-nil, is polled once per candidate; a true return
+	// aborts the scan early.
+	interrupt func() bool
+
 	// FalseHits counts network distance computations in the last query that
 	// did not improve the candidate set (an experiment statistic).
 	FalseHits int
@@ -37,19 +41,32 @@ type IER struct {
 	OracleCalls int
 }
 
-// New builds an IER method. name is the reported method name (e.g.
-// "IER-PHL"); the object R-tree is built over the object set's coordinates.
-func New(name string, g *graph.Graph, objs *knn.ObjectSet, factory knn.SourceFactory) *IER {
+// NewObjectTree builds the Euclidean object R-tree for objs over g — the
+// decoupled object index (Section 2.2) IER scans for candidates. The tree
+// is immutable and may be shared by any number of IER instances.
+func NewObjectTree(g *graph.Graph, objs *knn.ObjectSet) *rtree.Tree {
 	verts := objs.Vertices()
 	pts := make([]geo.Point, len(verts))
 	for i, v := range verts {
 		pts[i] = geo.Point{X: g.X[v], Y: g.Y[v]}
 	}
+	return rtree.New(verts, pts, 0)
+}
+
+// New builds an IER method. name is the reported method name (e.g.
+// "IER-PHL"); the object R-tree is built over the object set's coordinates.
+func New(name string, g *graph.Graph, objs *knn.ObjectSet, factory knn.SourceFactory) *IER {
+	return NewWithTree(name, g, objs, NewObjectTree(g, objs), factory)
+}
+
+// NewWithTree builds an IER method over a prebuilt object R-tree (shared
+// across query sessions; see Rebind).
+func NewWithTree(name string, g *graph.Graph, objs *knn.ObjectSet, rt *rtree.Tree, factory knn.SourceFactory) *IER {
 	return &IER{
 		name:     name,
 		g:        g,
 		objs:     objs,
-		rt:       rtree.New(verts, pts, 0),
+		rt:       rt,
 		factory:  factory,
 		invSpeed: 1 / g.MaxSpeed(),
 	}
@@ -57,6 +74,16 @@ func New(name string, g *graph.Graph, objs *knn.ObjectSet, factory knn.SourceFac
 
 // Name implements knn.Method.
 func (x *IER) Name() string { return x.name }
+
+// Rebind swaps the object set and its prebuilt R-tree between queries
+// (object indexes are decoupled from the road network index, Section 2.2).
+func (x *IER) Rebind(objs *knn.ObjectSet, rt *rtree.Tree) {
+	x.objs = objs
+	x.rt = rt
+}
+
+// SetInterrupt implements knn.Interruptible.
+func (x *IER) SetInterrupt(check func() bool) { x.interrupt = check }
 
 // Tree returns the object R-tree (shared with experiments that measure the
 // object index, Figure 18).
@@ -80,6 +107,9 @@ func (x *IER) KNN(qv int32, k int) []knn.Result {
 	cand := make([]knn.Result, 0, k)
 	dk := graph.Inf
 	for {
+		if x.interrupt != nil && x.interrupt() {
+			break
+		}
 		nb, ok := scan.Next()
 		if !ok {
 			break
@@ -107,6 +137,11 @@ func (x *IER) KNN(qv int32, k int) []knn.Result {
 	sort.Slice(cand, func(i, j int) bool { return cand[i].Dist < cand[j].Dist })
 	return cand
 }
+
+var (
+	_ knn.Method        = (*IER)(nil)
+	_ knn.Interruptible = (*IER)(nil)
+)
 
 func candPush(h *[]knn.Result, r knn.Result) {
 	*h = append(*h, r)

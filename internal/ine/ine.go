@@ -25,10 +25,19 @@ type INE struct {
 	settled *bitset.Set
 	q       *pqueue.Queue
 
+	// interrupt, when non-nil, is polled every interruptStride settled
+	// vertices; a true return aborts the scan early.
+	interrupt func() bool
+
 	// VisitedVertices counts vertices settled by the last query (an
 	// experiment statistic).
 	VisitedVertices int
 }
+
+// interruptStride is how many settled vertices pass between interrupt
+// polls: frequent enough to bound cancellation latency on graph-wide scans,
+// rare enough to stay off the per-vertex hot path.
+const interruptStride = 256
 
 // New returns an INE method over g and the object set.
 func New(g *graph.Graph, objs *knn.ObjectSet) *INE {
@@ -49,6 +58,9 @@ func (x *INE) Name() string { return "INE" }
 // SetObjects swaps the object set (object indexes are decoupled from the
 // road network index, Section 2.2).
 func (x *INE) SetObjects(objs *knn.ObjectSet) { x.objs = objs }
+
+// SetInterrupt implements knn.Interruptible.
+func (x *INE) SetInterrupt(check func() bool) { x.interrupt = check }
 
 // KNN implements knn.Method.
 func (x *INE) KNN(qv int32, k int) []knn.Result {
@@ -78,6 +90,9 @@ func (x *INE) KNN(qv int32, k int) []knn.Result {
 		}
 		x.settled.Set(v)
 		x.VisitedVertices++
+		if x.interrupt != nil && x.VisitedVertices%interruptStride == 0 && x.interrupt() {
+			break
+		}
 		d := graph.Dist(it.Key)
 		if x.objs.Contains(v) {
 			out = append(out, knn.Result{Vertex: v, Dist: d})
@@ -132,6 +147,9 @@ func (x *INE) Range(qv int32, radius graph.Dist) []knn.Result {
 		}
 		x.settled.Set(v)
 		x.VisitedVertices++
+		if x.interrupt != nil && x.VisitedVertices%interruptStride == 0 && x.interrupt() {
+			break
+		}
 		if x.objs.Contains(v) {
 			out = append(out, knn.Result{Vertex: v, Dist: d})
 		}
@@ -150,3 +168,9 @@ func (x *INE) Range(qv int32, radius graph.Dist) []knn.Result {
 	}
 	return out
 }
+
+var (
+	_ knn.Method        = (*INE)(nil)
+	_ knn.RangeMethod   = (*INE)(nil)
+	_ knn.Interruptible = (*INE)(nil)
+)

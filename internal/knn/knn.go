@@ -31,6 +31,22 @@ type Method interface {
 	KNN(q int32, k int) []Result
 }
 
+// RangeMethod is implemented by methods that answer range queries natively:
+// every object within network distance radius of q, in nondecreasing
+// distance order.
+type RangeMethod interface {
+	Range(q int32, radius graph.Dist) []Result
+}
+
+// Interruptible is implemented by methods whose scans can abort early: the
+// installed check is polled periodically during expansion, and a true
+// return stops the scan, which returns whatever it has found so far.
+// pkg/rnknn installs context-cancellation checks through this hook; a nil
+// check disables polling.
+type Interruptible interface {
+	SetInterrupt(check func() bool)
+}
+
 // DistanceOracle answers point-to-point network distance queries; IER can
 // be composed with any of these (Section 5).
 type DistanceOracle interface {

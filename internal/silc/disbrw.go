@@ -157,11 +157,23 @@ func NewDBENN(x *Index, objs *knn.ObjectSet) *DBENN {
 	for i, v := range verts {
 		pts[i] = geo.Point{X: x.G.X[v], Y: x.G.Y[v]}
 	}
-	return &DBENN{x: x, objs: objs, rt: rtree.New(verts, pts, 0)}
+	return NewDBENNWithTree(x, objs, rtree.New(verts, pts, 0))
+}
+
+// NewDBENNWithTree builds the method over a prebuilt object R-tree (shared
+// across query sessions; see Rebind).
+func NewDBENNWithTree(x *Index, objs *knn.ObjectSet, rt *rtree.Tree) *DBENN {
+	return &DBENN{x: x, objs: objs, rt: rt}
 }
 
 // Name implements knn.Method.
 func (m *DBENN) Name() string { return "DisBrw" }
+
+// Rebind swaps the object set and its prebuilt R-tree between queries.
+func (m *DBENN) Rebind(objs *knn.ObjectSet, rt *rtree.Tree) {
+	m.objs = objs
+	m.rt = rt
+}
 
 // KNN implements knn.Method.
 func (m *DBENN) KNN(qv int32, k int) []knn.Result {
@@ -246,6 +258,9 @@ func NewDisBrw(x *Index, oh *ObjectHierarchy) *DisBrw {
 
 // Name implements knn.Method.
 func (m *DisBrw) Name() string { return "DisBrw-OH" }
+
+// SetObjects swaps the Object Hierarchy (the decoupled object index).
+func (m *DisBrw) SetObjects(oh *ObjectHierarchy) { m.oh = oh }
 
 // KNN implements knn.Method.
 func (m *DisBrw) KNN(qv int32, k int) []knn.Result {

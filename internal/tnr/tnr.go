@@ -138,10 +138,55 @@ func (x *Index) Name() string { return "TNR" }
 // NumTransit returns the transit set size.
 func (x *Index) NumTransit() int { return x.numT }
 
-// Distance implements knn.DistanceOracle.
+// Distance implements knn.DistanceOracle, counting resolutions in the
+// index's shared TableHits/LocalHits; not safe for concurrent use
+// (concurrent callers use NewQuerier).
 func (x *Index) Distance(s, t int32) graph.Dist {
+	d, local, resolved := x.distance(s, t)
+	if resolved {
+		if local {
+			x.LocalHits++
+		} else {
+			x.TableHits++
+		}
+	}
+	return d
+}
+
+// Querier is a per-session view of the index with private hit counters.
+// The Index tables are immutable after Build, so any number of Queriers may
+// run concurrently; a single Querier is not safe for concurrent use.
+type Querier struct {
+	x *Index
+	// TableHits / LocalHits count query resolutions per kind.
+	TableHits, LocalHits int
+}
+
+// NewQuerier returns a fresh query session over the index.
+func (x *Index) NewQuerier() *Querier { return &Querier{x: x} }
+
+// Name implements knn.DistanceOracle.
+func (q *Querier) Name() string { return "TNR" }
+
+// Distance implements knn.DistanceOracle.
+func (q *Querier) Distance(s, t int32) graph.Dist {
+	d, local, resolved := q.x.distance(s, t)
+	if resolved {
+		if local {
+			q.LocalHits++
+		} else {
+			q.TableHits++
+		}
+	}
+	return d
+}
+
+// distance is the shared read-only query: the access-node table term merged
+// with the local-cone term. local reports which term won; resolved is false
+// only for the trivial s == t case.
+func (x *Index) distance(s, t int32) (d graph.Dist, local, resolved bool) {
 	if s == t {
-		return 0
+		return 0, false, false
 	}
 	best := graph.Inf
 	// Access-node table term.
@@ -174,12 +219,7 @@ func (x *Index) Distance(s, t int32) graph.Dist {
 			j++
 		}
 	}
-	if best < tableBest {
-		x.LocalHits++
-	} else {
-		x.TableHits++
-	}
-	return best
+	return best, best < tableBest, true
 }
 
 // SizeBytes estimates the index footprint (table + access + cones).
@@ -189,3 +229,4 @@ func (x *Index) SizeBytes() int {
 }
 
 var _ knn.DistanceOracle = (*Index)(nil)
+var _ knn.DistanceOracle = (*Querier)(nil)

@@ -1,0 +1,74 @@
+package rnknn
+
+import (
+	"fmt"
+
+	"rnknn/internal/core"
+)
+
+// Method identifies a kNN method configuration. The zero value is INE.
+type Method int
+
+// The methods mirror internal/core's kinds: the paper's five algorithms,
+// with IER composable over each distance oracle (Section 5).
+const (
+	// INE is Incremental Network Expansion (Section 3.1).
+	INE Method = iota
+	// IERDijk is IER with a resumable Dijkstra oracle (the original IER).
+	IERDijk
+	// IERCH is IER with a Contraction Hierarchies oracle.
+	IERCH
+	// IERTNR is IER with a Transit Node Routing oracle.
+	IERTNR
+	// IERPHL is IER with the hub-labeling (PHL) oracle — the paper's
+	// overall winner (Table 5).
+	IERPHL
+	// IERGt is IER with the materialized G-tree oracle (MGtree).
+	IERGt
+	// Gtree is the G-tree kNN algorithm (Section 3.5, Algorithm 3).
+	Gtree
+	// ROAD is Route Overlay and Association Directory (Section 3.4).
+	ROAD
+	// DisBrw is Distance Browsing in its DB-ENN form (Appendix A.1.1).
+	DisBrw
+	// DisBrwOH is Distance Browsing with the original Object Hierarchy.
+	DisBrwOH
+	numMethods
+)
+
+func (m Method) valid() bool { return m >= 0 && m < numMethods }
+
+func (m Method) kind() core.MethodKind { return core.MethodKind(m) }
+
+// String returns the method's display name (e.g. "IER-PHL"), the same name
+// ParseMethod accepts.
+func (m Method) String() string { return m.kind().String() }
+
+// Methods lists every method in display order.
+func Methods() []Method {
+	out := make([]Method, 0, numMethods)
+	for m := Method(0); m < numMethods; m++ {
+		out = append(out, m)
+	}
+	return out
+}
+
+// MethodNames lists every method's display name in display order.
+func MethodNames() []string {
+	out := make([]string, 0, numMethods)
+	for _, m := range Methods() {
+		out = append(out, m.String())
+	}
+	return out
+}
+
+// ParseMethod resolves a display name ("INE", "IER-PHL", "Gtree", ...) to
+// its Method, reporting ErrUnknownMethod for anything else.
+func ParseMethod(name string) (Method, error) {
+	for _, m := range Methods() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownMethod, name, MethodNames())
+}

@@ -1,0 +1,83 @@
+package rnknn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rnknn/internal/core"
+	"rnknn/internal/knn"
+)
+
+// category is one named object set; binding holds the live immutable
+// snapshot (object set plus the derived per-method object indexes) and is
+// swapped atomically by RegisterObjects.
+type category struct {
+	binding atomic.Pointer[core.Binding]
+}
+
+// RegisterObjects installs (or atomically replaces) the named object
+// category. Duplicated vertices are dropped. The category's derived object
+// indexes — R-tree, occurrence list, association directory, whichever the
+// enabled methods need — are built here, once per registration, and shared
+// read-only by all query sessions.
+//
+// Replacement is safe while queries are in flight: each query snapshots the
+// category's binding once at its start, so an in-flight query answers
+// consistently over whichever set was live when it began, and queries
+// started after RegisterObjects returns see the new set.
+func (db *DB) RegisterObjects(name string, vertices []int32) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty name", ErrBadCategory)
+	}
+	n := int32(db.g.NumVertices())
+	for _, v := range vertices {
+		if v < 0 || v >= n {
+			return fmt.Errorf("%w: object vertex %d (network has %d vertices)", ErrBadVertex, v, n)
+		}
+	}
+	objs := knn.NewObjectSet(db.g, vertices)
+	// Building the derived indexes happens outside any lock; only the final
+	// pointer swap (and, for a new name, the map insert) synchronizes.
+	b := db.eng.NewBinding(objs, db.bindKinds)
+
+	db.mu.RLock()
+	cat := db.cats[name]
+	db.mu.RUnlock()
+	if cat == nil {
+		// A fresh category must carry its binding before it becomes visible
+		// in the map: a concurrent query that finds the name must never load
+		// a nil binding.
+		fresh := &category{}
+		fresh.binding.Store(b)
+		db.mu.Lock()
+		if cat = db.cats[name]; cat == nil {
+			db.cats[name] = fresh
+			db.mu.Unlock()
+			return nil
+		}
+		db.mu.Unlock()
+	}
+	cat.binding.Store(b)
+	return nil
+}
+
+// snapshot resolves a category name to its live binding.
+func (db *DB) snapshot(name string) (*core.Binding, error) {
+	db.mu.RLock()
+	cat := db.cats[name]
+	db.mu.RUnlock()
+	if cat == nil {
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownCategory, name, db.Categories())
+	}
+	return cat.binding.Load(), nil
+}
+
+// NumObjects returns the number of objects currently live in the named
+// category.
+func (db *DB) NumObjects(name string) (int, error) {
+	b, err := db.snapshot(name)
+	if err != nil {
+		return 0, err
+	}
+	return b.Objs.Len(), nil
+}

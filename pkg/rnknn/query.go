@@ -1,0 +1,197 @@
+package rnknn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rnknn/internal/core"
+	"rnknn/internal/knn"
+)
+
+// sessionPool hands out single-goroutine query sessions of one method kind.
+// Sessions hold the method's search state (distance arrays, heaps, per-
+// session oracle state), so pooling them is what makes unbounded concurrent
+// callers cheap: a goroutine reuses a free session or manufactures a new
+// one, and returns it when the query finishes.
+type sessionPool struct {
+	eng  *core.Engine
+	kind core.MethodKind
+	pool sync.Pool
+}
+
+func newSessionPool(eng *core.Engine, kind core.MethodKind) *sessionPool {
+	return &sessionPool{eng: eng, kind: kind}
+}
+
+// get returns a session rebound to b, manufacturing one when the pool is
+// empty.
+func (p *sessionPool) get(b *core.Binding) (core.Session, error) {
+	if s, ok := p.pool.Get().(core.Session); ok {
+		s.Rebind(b)
+		return s, nil
+	}
+	return p.eng.NewSession(p.kind, b)
+}
+
+func (p *sessionPool) put(s core.Session) { p.pool.Put(s) }
+
+// queryOpts collects per-query options.
+type queryOpts struct {
+	method    Method
+	methodSet bool
+	category  string
+}
+
+// QueryOption configures one KNN or Range call.
+type QueryOption func(*queryOpts)
+
+// WithMethod selects the method answering this query (default: the DB's
+// first enabled method).
+func WithMethod(m Method) QueryOption {
+	return func(o *queryOpts) { o.method = m; o.methodSet = true }
+}
+
+// WithCategory selects the object category this query searches (default
+// DefaultCategory).
+func WithCategory(name string) QueryOption {
+	return func(o *queryOpts) { o.category = name }
+}
+
+func (db *DB) applyOpts(opts []QueryOption) queryOpts {
+	qo := queryOpts{method: db.methods[0], category: DefaultCategory}
+	for _, o := range opts {
+		o(&qo)
+	}
+	return qo
+}
+
+// checkQuery validates the shared query inputs and resolves the category.
+func (db *DB) checkQuery(ctx context.Context, q int32, qo queryOpts) (*core.Binding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if q < 0 || int(q) >= db.g.NumVertices() {
+		return nil, fmt.Errorf("%w: query vertex %d (network has %d vertices)", ErrBadVertex, q, db.g.NumVertices())
+	}
+	return db.snapshot(qo.category)
+}
+
+// KNN returns the k nearest objects of the query's category to vertex q by
+// network distance (fewer if the live object set is smaller than k), in
+// nondecreasing distance order. It is safe for unbounded concurrent
+// callers. Cancellation or expiry of ctx is checked between expansion steps
+// of the interruptible scans (INE and the IER family), so long graph-wide
+// scans return promptly with ctx's error.
+func (db *DB) KNN(ctx context.Context, q int32, k int, opts ...QueryOption) ([]Result, error) {
+	qo := db.applyOpts(opts)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if !qo.method.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(qo.method))
+	}
+	if !db.enabled[qo.method] {
+		return nil, fmt.Errorf("%w: %s (enabled: %v)", ErrMethodNotEnabled, qo.method, db.methods)
+	}
+	b, err := db.checkQuery(ctx, q, qo)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := db.pools[qo.method].get(b)
+	if err != nil {
+		return nil, err
+	}
+	in, interruptible := sess.(knn.Interruptible)
+	if interruptible {
+		in.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
+	start := time.Now()
+	res := sess.KNN(q, k)
+	elapsed := time.Since(start)
+	if interruptible {
+		in.SetInterrupt(nil)
+	}
+	db.pools[qo.method].put(sess)
+	if err := ctx.Err(); err != nil {
+		// The scan may have been cut short; the partial answer is not
+		// returned.
+		return nil, err
+	}
+	db.stats.recordKNN(qo.method, elapsed)
+	return res, nil
+}
+
+// Range returns every object of the query's category within network
+// distance radius of vertex q, in nondecreasing distance order. Range
+// queries always run incremental network expansion (the one method with a
+// native range form); passing WithMethod with any other method reports
+// ErrRangeMethod. Safe for unbounded concurrent callers, with the same
+// context semantics as KNN.
+func (db *DB) Range(ctx context.Context, q int32, radius Dist, opts ...QueryOption) ([]Result, error) {
+	qo := db.applyOpts(opts)
+	if radius < 0 {
+		return nil, fmt.Errorf("%w: radius=%d", ErrBadRadius, radius)
+	}
+	if qo.methodSet && qo.method != INE {
+		return nil, fmt.Errorf("%w: got %s", ErrRangeMethod, qo.method)
+	}
+	b, err := db.checkQuery(ctx, q, qo)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := db.pools[INE].get(b)
+	if err != nil {
+		return nil, err
+	}
+	rm := sess.(knn.RangeMethod)
+	in := sess.(knn.Interruptible)
+	in.SetInterrupt(func() bool { return ctx.Err() != nil })
+	start := time.Now()
+	res := rm.Range(q, radius)
+	elapsed := time.Since(start)
+	in.SetInterrupt(nil)
+	db.pools[INE].put(sess)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.stats.recordRange(elapsed)
+	return res, nil
+}
+
+// BruteForceKNN answers the query by a plain Dijkstra expansion over the
+// category's live object set — the correctness reference every method is
+// validated against (ignores WithMethod; not recorded in Stats).
+func (db *DB) BruteForceKNN(q int32, k int, opts ...QueryOption) ([]Result, error) {
+	qo := db.applyOpts(opts)
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	b, err := db.checkQuery(context.Background(), q, qo)
+	if err != nil {
+		return nil, err
+	}
+	return knn.BruteForce(db.g, b.Objs, q, k), nil
+}
+
+// BruteForceRange is the range-query correctness reference, mirroring
+// BruteForceKNN.
+func (db *DB) BruteForceRange(q int32, radius Dist, opts ...QueryOption) ([]Result, error) {
+	qo := db.applyOpts(opts)
+	if radius < 0 {
+		return nil, fmt.Errorf("%w: radius=%d", ErrBadRadius, radius)
+	}
+	b, err := db.checkQuery(context.Background(), q, qo)
+	if err != nil {
+		return nil, err
+	}
+	return knn.BruteForceRange(db.g, b.Objs, q, radius), nil
+}
+
+// SameResults reports whether two result lists agree, tolerating reordering
+// among tied distances (and any choice of ties at the k-th distance).
+func SameResults(a, b []Result) bool { return knn.SameResults(a, b) }
+
+// FormatResults renders results compactly ("[vertex:dist ...]") for logs.
+func FormatResults(rs []Result) string { return knn.FormatResults(rs) }

@@ -1,0 +1,194 @@
+// Package rnknn is the public, concurrency-safe entry point to the library:
+// a DB facade over the kNN methods of Abeywickrama, Cheema and Taniar,
+// "k-Nearest Neighbors on Road Networks: A Journey in Experimentation and
+// In-Memory Implementation" (PVLDB 2016).
+//
+// A DB owns one road network and the road-network indexes of the methods it
+// was opened with, and serves kNN and range queries from any number of
+// goroutines: query sessions (per-method search state) are pooled, and
+// object sets are named categories that can be swapped atomically while
+// queries are in flight — the paper's decoupled index/object design
+// (Section 2.2) as a live API.
+//
+//	g := gen.Network(gen.NetworkSpec{Name: "city", Rows: 96, Cols: 120, Seed: 1})
+//	db, err := rnknn.Open(g, rnknn.WithMethods(rnknn.IERPHL, rnknn.Gtree))
+//	if err != nil { ... }
+//	if err := db.RegisterObjects("hospitals", hospitalVertices); err != nil { ... }
+//	results, err := db.KNN(ctx, query, 10,
+//		rnknn.WithMethod(rnknn.IERPHL), rnknn.WithCategory("hospitals"))
+//
+// Queries accept a context: cancellation and deadlines are checked between
+// expansion steps of the long INE/Dijkstra-style scans, so a cancelled
+// graph-wide scan returns promptly with the context's error. Invalid input
+// surfaces as typed errors (ErrUnknownMethod, ErrBadVertex, ...) that work
+// with errors.Is. DB.Stats exposes per-index build cost and per-method
+// query counters.
+package rnknn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rnknn/internal/core"
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+)
+
+// Graph is the road network a DB serves: a CSR adjacency with travel
+// distance and travel time weights and vertex coordinates.
+type Graph = graph.Graph
+
+// Dist is a network distance (travel distance or travel time, depending on
+// the graph's weight view).
+type Dist = graph.Dist
+
+// Result is one query answer: an object vertex and its network distance
+// from the query vertex. Queries return results in nondecreasing distance
+// order.
+type Result = knn.Result
+
+// DefaultCategory is the object category queries use when WithCategory is
+// not given.
+const DefaultCategory = "default"
+
+// config collects Open options.
+type config struct {
+	methods []Method
+	opts    core.Options
+	objects []initialObjects
+}
+
+type initialObjects struct {
+	name     string
+	vertices []int32
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithMethods selects the query methods the DB supports, in preference
+// order: the first is the default for KNN. Each method's road-network index
+// is built during Open. The default is {INE, IERDijk, Gtree} — the methods
+// whose index cost is no more than a G-tree build; add IERPHL (the paper's
+// overall winner) when the hub-labeling build cost is acceptable.
+func WithMethods(ms ...Method) Option {
+	return func(c *config) { c.methods = append([]Method(nil), ms...) }
+}
+
+// WithObjects registers an object category during Open, equivalent to
+// calling RegisterObjects immediately after.
+func WithObjects(name string, vertices []int32) Option {
+	return func(c *config) {
+		c.objects = append(c.objects, initialObjects{name, append([]int32(nil), vertices...)})
+	}
+}
+
+// WithGtreeFanout sets the G-tree fanout (paper default 4).
+func WithGtreeFanout(n int) Option { return func(c *config) { c.opts.GtreeFanout = n } }
+
+// WithGtreeTau sets the G-tree leaf capacity tau.
+func WithGtreeTau(n int) Option { return func(c *config) { c.opts.GtreeTau = n } }
+
+// WithRoadFanout sets the ROAD hierarchy fanout.
+func WithRoadFanout(n int) Option { return func(c *config) { c.opts.RoadFanout = n } }
+
+// WithRoadLevels sets the ROAD hierarchy depth.
+func WithRoadLevels(n int) Option { return func(c *config) { c.opts.RoadLevels = n } }
+
+// WithNumTransit sets the TNR transit-set size.
+func WithNumTransit(n int) Option { return func(c *config) { c.opts.NumTransit = n } }
+
+// WithSILCParallelism bounds the SILC build workers.
+func WithSILCParallelism(n int) Option { return func(c *config) { c.opts.SILCParallelism = n } }
+
+// DB is a queryable road-network database. All methods are safe for
+// concurrent use by any number of goroutines.
+type DB struct {
+	g       *graph.Graph
+	eng     *core.Engine
+	methods []Method
+	enabled [numMethods]bool
+	// bindKinds lists the enabled method kinds; every category binding
+	// carries the derived object indexes for all of them.
+	bindKinds []core.MethodKind
+	// pools[m] pools query sessions of method m. pools[INE] always exists:
+	// it also serves Range and context-checked fallbacks.
+	pools [numMethods]*sessionPool
+
+	mu   sync.RWMutex // guards cats (the map, not the bindings inside)
+	cats map[string]*category
+
+	stats registry
+}
+
+// Open builds a DB over g. The road-network index of every selected method
+// is constructed here (so queries never pay index construction), which
+// makes Open the expensive call: on the paper's parameters, expect G-tree
+// and ROAD builds linearithmic in |V|, CH/PHL/TNR somewhat above that, and
+// SILC quadratic — the paper restricts SILC (DisBrw) to small networks and
+// so should callers.
+func Open(g *Graph, opts ...Option) (*DB, error) {
+	if g == nil || g.NumVertices() == 0 {
+		return nil, fmt.Errorf("%w: nil or empty graph", ErrBadGraph)
+	}
+	cfg := config{methods: []Method{INE, IERDijk, Gtree}}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.methods) == 0 {
+		return nil, fmt.Errorf("%w: WithMethods given no methods", ErrUnknownMethod)
+	}
+	db := &DB{
+		g:    g,
+		cats: map[string]*category{},
+	}
+	for _, m := range cfg.methods {
+		if !m.valid() {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(m))
+		}
+		if db.enabled[m] {
+			continue
+		}
+		db.enabled[m] = true
+		db.methods = append(db.methods, m)
+		db.bindKinds = append(db.bindKinds, m.kind())
+	}
+	db.eng = core.New(g)
+	db.eng.Opts = cfg.opts
+	for _, m := range db.methods {
+		db.eng.EnsureIndex(m.kind())
+		db.pools[m] = newSessionPool(db.eng, m.kind())
+	}
+	if db.pools[INE] == nil {
+		db.pools[INE] = newSessionPool(db.eng, core.INE)
+	}
+	for _, o := range cfg.objects {
+		if err := db.RegisterObjects(o.name, o.vertices); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Graph returns the road network the DB serves.
+func (db *DB) Graph() *Graph { return db.g }
+
+// Methods returns the enabled methods in preference order; the first is
+// the default for KNN.
+func (db *DB) Methods() []Method { return append([]Method(nil), db.methods...) }
+
+// DefaultMethod returns the method KNN uses when WithMethod is not given.
+func (db *DB) DefaultMethod() Method { return db.methods[0] }
+
+// Categories returns the registered object category names, sorted.
+func (db *DB) Categories() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.cats))
+	for name := range db.cats {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

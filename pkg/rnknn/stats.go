@@ -1,0 +1,110 @@
+package rnknn
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// IndexStats describes one built road-network index.
+type IndexStats struct {
+	// BuildTime is the wall-clock construction time paid at Open.
+	BuildTime time.Duration
+	// SizeBytes estimates the index's in-memory footprint.
+	SizeBytes int
+}
+
+// MethodStats aggregates the queries one method has served.
+type MethodStats struct {
+	// KNNQueries and RangeQueries count completed (non-errored,
+	// non-cancelled) queries. Range queries always run on INE.
+	KNNQueries   uint64
+	RangeQueries uint64
+	// TotalLatency sums completed query latencies; divide by the query
+	// count for the mean. MaxLatency is the worst single query.
+	TotalLatency time.Duration
+	MaxLatency   time.Duration
+}
+
+// Stats is a point-in-time snapshot of the DB's observability counters.
+type Stats struct {
+	// Indexes maps index name ("Gtree", "PHL", ...) to its build cost.
+	Indexes map[string]IndexStats
+	// Methods maps method name to its query counters (methods with no
+	// completed queries report zero counters).
+	Methods map[string]MethodStats
+	// Categories maps each registered object category to its live object
+	// count.
+	Categories map[string]int
+}
+
+// counters is one method's lock-free aggregate.
+type counters struct {
+	knnQueries   atomic.Uint64
+	rangeQueries atomic.Uint64
+	totalNanos   atomic.Int64
+	maxNanos     atomic.Int64
+}
+
+func (c *counters) record(d time.Duration, isRange bool) {
+	if isRange {
+		c.rangeQueries.Add(1)
+	} else {
+		c.knnQueries.Add(1)
+	}
+	c.totalNanos.Add(int64(d))
+	for {
+		cur := c.maxNanos.Load()
+		if int64(d) <= cur || c.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+func (c *counters) snapshot() MethodStats {
+	return MethodStats{
+		KNNQueries:   c.knnQueries.Load(),
+		RangeQueries: c.rangeQueries.Load(),
+		TotalLatency: time.Duration(c.totalNanos.Load()),
+		MaxLatency:   time.Duration(c.maxNanos.Load()),
+	}
+}
+
+// registry holds one counters slot per method; slots for disabled methods
+// exist but stay zero (INE's slot also aggregates Range queries even when
+// INE is not an enabled KNN method).
+type registry struct {
+	perMethod [numMethods]counters
+}
+
+func (r *registry) recordKNN(m Method, d time.Duration) { r.perMethod[m].record(d, false) }
+
+func (r *registry) recordRange(d time.Duration) { r.perMethod[INE].record(d, true) }
+
+// Stats returns a snapshot of index build costs, per-method query counters
+// and live category sizes. Safe for concurrent use; counters are read
+// atomically but not as one consistent cut.
+func (db *DB) Stats() Stats {
+	s := Stats{
+		Indexes:    map[string]IndexStats{},
+		Methods:    map[string]MethodStats{},
+		Categories: map[string]int{},
+	}
+	for name, info := range db.eng.BuiltIndexes() {
+		s.Indexes[name] = IndexStats{BuildTime: info.BuildTime, SizeBytes: info.SizeBytes}
+	}
+	for _, m := range db.methods {
+		s.Methods[m.String()] = db.stats.perMethod[m].snapshot()
+	}
+	// Range queries land on INE even when it is not an enabled method.
+	if !db.enabled[INE] {
+		if ms := db.stats.perMethod[INE].snapshot(); ms.RangeQueries > 0 {
+			s.Methods[INE.String()] = ms
+		}
+	}
+	db.mu.RLock()
+	for name, cat := range db.cats {
+		s.Categories[name] = cat.binding.Load().Objs.Len()
+	}
+	db.mu.RUnlock()
+	return s
+}
