@@ -1,0 +1,125 @@
+// Command buildindex pre-builds road-network indexes and writes them as one
+// snapshot file, so serving processes warm-start with rnknn.OpenFromSnapshot
+// (or rnknn.WithIndexCache) instead of paying construction on every start.
+//
+//	buildindex -network NW -methods IER-PHL,Gtree -o nw.rnks
+//	buildindex -network DE -methods all -verify
+//
+// The snapshot format is specified in docs/SNAPSHOT_FORMAT.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rnknn/internal/cliutil"
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/pkg/rnknn"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "NW", "ladder network name")
+		methods = flag.String("methods", "IER-PHL,Gtree", "comma-separated method names whose indexes to build, or 'all'")
+		out     = flag.String("o", "", "output snapshot path (default <network>.rnks)")
+		timeW   = flag.Bool("traveltime", false, "use travel-time weights")
+		verify  = flag.Bool("verify", false, "re-open the written snapshot and check every index loads")
+	)
+	flag.Parse()
+
+	spec, ok := gen.LadderSpec(*network)
+	if !ok {
+		usageExit("unknown network %q", *network)
+	}
+	var ms []rnknn.Method
+	if *methods == "all" {
+		ms = rnknn.Methods()
+	} else {
+		for _, name := range strings.Split(*methods, ",") {
+			m, err := rnknn.ParseMethod(strings.TrimSpace(name))
+			if err != nil {
+				usageExit("%v", err)
+			}
+			ms = append(ms, m)
+		}
+	}
+	if len(ms) == 0 {
+		usageExit("-methods selected no methods")
+	}
+	path := *out
+	if path == "" {
+		path = spec.Name + ".rnks"
+	}
+
+	g := gen.Network(spec)
+	if *timeW {
+		g = g.View(graph.TravelTime)
+	}
+	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
+
+	start := time.Now()
+	db, err := rnknn.Open(g, rnknn.WithMethods(ms...))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("built %d method(s) in %s\n", len(ms), time.Since(start).Round(time.Millisecond))
+	printIndexes(db.Stats())
+
+	start = time.Now()
+	if err := db.SaveIndexesFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "save:", err)
+		os.Exit(1)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes) in %s\n", path, info.Size(), time.Since(start).Round(time.Millisecond))
+
+	if *verify {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		start = time.Now()
+		db2, err := rnknn.OpenFromSnapshot(g, f, rnknn.WithMethods(ms...))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify:", err)
+			os.Exit(1)
+		}
+		for name, ix := range db2.Stats().Indexes {
+			if !ix.Loaded {
+				fmt.Fprintf(os.Stderr, "verify: index %s was rebuilt, not loaded\n", name)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("verify: reloaded every index in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func printIndexes(s rnknn.Stats) {
+	names := make([]string, 0, len(s.Indexes))
+	for name := range s.Indexes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ix := s.Indexes[name]
+		fmt.Printf("  %-6s %10d bytes  built in %s\n", name, ix.SizeBytes, ix.BuildTime.Round(time.Millisecond))
+	}
+}
+
+// usageExit routes invalid flag values through the shared convention,
+// appending the valid method names.
+func usageExit(format string, args ...any) {
+	cliutil.UsageExit("valid methods: "+strings.Join(rnknn.MethodNames(), ", "), format, args...)
+}

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 
+	"rnknn/internal/cliutil"
 	"rnknn/internal/gen"
 	"rnknn/internal/graph"
 )
@@ -22,8 +23,7 @@ func main() {
 	if *name != "" {
 		spec, ok := gen.LadderSpec(*name)
 		if !ok {
-			fmt.Println("unknown network; ladder:", names(specs))
-			return
+			cliutil.UsageExit("", "unknown network %q; ladder: %v", *name, names(specs))
 		}
 		specs = []gen.NetworkSpec{spec}
 	}

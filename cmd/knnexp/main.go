@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"rnknn/internal/cliutil"
 	"rnknn/internal/exp"
 )
 
@@ -40,11 +41,19 @@ func main() {
 		}
 		return
 	}
+	if *queries < 0 {
+		cliutil.UsageExit("", "-queries must be >= 0 (0 uses the default), got %d", *queries)
+	}
+	if *scale < 0 {
+		cliutil.UsageExit("", "-scale must be >= 0 (0 uses the default), got %g", *scale)
+	}
 
 	cfg := exp.Config{Queries: *queries, Scale: *scale, Seed: *seed}
 	ids := []string{*id}
 	if *id == "all" {
 		ids = exp.IDs()
+	} else if _, ok := exp.Titles()[*id]; !ok {
+		cliutil.UsageExit("", "unknown experiment %q (run with -list for the index)", *id)
 	}
 	for _, e := range ids {
 		start := time.Now()

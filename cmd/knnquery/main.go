@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"rnknn/internal/cliutil"
 	"rnknn/internal/gen"
 	"rnknn/internal/graph"
 	"rnknn/pkg/rnknn"
@@ -90,12 +91,8 @@ func main() {
 	}
 }
 
-// usageExit prints the error, the flag defaults and the valid method names,
-// then exits with status 2 (flag's own usage convention).
+// usageExit routes invalid flag values through the shared convention,
+// appending the valid method names.
 func usageExit(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n\n", args...)
-	fmt.Fprintf(os.Stderr, "usage of %s:\n", os.Args[0])
-	flag.PrintDefaults()
-	fmt.Fprintln(os.Stderr, "\nvalid methods:", strings.Join(rnknn.MethodNames(), ", "))
-	os.Exit(2)
+	cliutil.UsageExit("valid methods: "+strings.Join(rnknn.MethodNames(), ", "), format, args...)
 }

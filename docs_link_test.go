@@ -1,0 +1,65 @@
+package rnknn
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repository.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks fails when the repository's authored documentation —
+// README.md, everything under docs/, and cmd/README.md — links to an
+// intra-repo path that does not exist, the CI guard behind keeping the docs
+// navigable as the tree moves. Imported reference material (SNIPPETS.md,
+// PAPERS.md, ...) quotes other repositories' links and is deliberately out
+// of scope.
+func TestDocLinks(t *testing.T) {
+	mdFiles := []string{"README.md", filepath.Join("cmd", "README.md")}
+	err := filepath.WalkDir("docs", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) < 4 {
+		t.Fatalf("expected README.md, cmd/README.md and docs/*.md; found %v", mdFiles)
+	}
+
+	for _, file := range mdFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Binary snapshot codec for the contraction hierarchy: the rank permutation
+// and the upward CSR (original + shortcut edges) — everything the witness
+// searches of Build exist to produce. See docs/SNAPSHOT_FORMAT.md.
+package ch
+
+import (
+	"io"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/pqueue"
+	"rnknn/internal/snapio"
+)
+
+// codecVersion is the CH section layout version.
+const codecVersion uint16 = 1
+
+// WriteTo serializes the index (io.WriterTo).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := snapio.NewWriter(w)
+	sw.U16(codecVersion)
+	sw.U32(uint32(x.Shortcuts))
+	sw.I32s(x.rank)
+	sw.I32s(x.upOff)
+	sw.I32s(x.upTo)
+	sw.I32s(x.upW)
+	return sw.Result()
+}
+
+// Read deserializes an index written by WriteTo and re-arms the query-time
+// scratch state, validating CSR invariants against g.
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	sr := snapio.NewReader(r)
+	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
+		sr.Failf("ch codec version %d (want %d)", v, codecVersion)
+	}
+	x := &Index{
+		g:         g,
+		Shortcuts: int(sr.U32()),
+		rank:      sr.I32s(),
+		upOff:     sr.I32s(),
+		upTo:      sr.I32s(),
+		upW:       sr.I32s(),
+	}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	n := g.NumVertices()
+	switch {
+	case len(x.rank) != n:
+		sr.Failf("ch rank has %d entries for %d vertices", len(x.rank), n)
+	case len(x.upOff) != n+1 || x.upOff[0] != 0 || int(x.upOff[n]) != len(x.upTo) || len(x.upTo) != len(x.upW):
+		sr.Failf("ch upward CSR is inconsistent")
+	}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	for v := 0; v < n; v++ {
+		if x.rank[v] < 0 || int(x.rank[v]) >= n {
+			sr.Failf("ch rank[%d]=%d out of range", v, x.rank[v])
+			return nil, sr.Err()
+		}
+		if x.upOff[v] > x.upOff[v+1] {
+			sr.Failf("ch upward offsets not monotone at %d", v)
+			return nil, sr.Err()
+		}
+	}
+	for i, t := range x.upTo {
+		if t < 0 || int(t) >= n {
+			sr.Failf("ch upward target %d out of range at edge %d", t, i)
+			return nil, sr.Err()
+		}
+	}
+	x.def = x.NewSearcher()
+	x.distU = make([]graph.Dist, n)
+	x.stampU = make([]uint32, n)
+	x.qu = pqueue.NewQueue(256)
+	return x, nil
+}

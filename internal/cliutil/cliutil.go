@@ -1,0 +1,24 @@
+// Package cliutil holds the flag-handling conventions shared by the cmd/
+// binaries, so the usage behavior documented in cmd/README.md lives in one
+// place.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// UsageExit prints the formatted error followed by the flag defaults (and
+// trailer, when non-empty, as a final line), then exits with status 2 —
+// flag's own usage convention. Every cmd/ binary routes invalid flag values
+// through it.
+func UsageExit(trailer, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n\n", args...)
+	fmt.Fprintf(os.Stderr, "usage of %s:\n", os.Args[0])
+	flag.PrintDefaults()
+	if trailer != "" {
+		fmt.Fprintln(os.Stderr, "\n"+trailer)
+	}
+	os.Exit(2)
+}

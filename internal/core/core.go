@@ -125,10 +125,19 @@ type Engine struct {
 	tnrx *tnr.Index
 
 	// BuildTimes records the wall-clock construction time of each index by
-	// name ("Gtree", "ROAD", "SILC", "CH", "PHL", "TNR"). Read it only
+	// name ("Gtree", "ROAD", "SILC", "CH", "PHL", "TNR") — or, for indexes
+	// installed by LoadIndexes, the snapshot decode time. Read it only
 	// after the builds of interest have completed (single-goroutine
 	// harness code); concurrent readers use BuiltIndexes.
 	BuildTimes map[string]time.Duration
+
+	// loaded marks indexes that came from a snapshot (LoadIndexes) rather
+	// than being constructed; guarded by mu, surfaced via IndexInfo.Loaded.
+	loaded map[string]bool
+
+	// fp memoizes the graph fingerprint (see Fingerprint).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // New creates an engine over g with default options.
@@ -246,8 +255,13 @@ func (e *Engine) EnsureIndex(kind MethodKind) {
 
 // IndexInfo describes one built road-network index for stats reporting.
 type IndexInfo struct {
+	// BuildTime is the construction time, or the snapshot decode time when
+	// Loaded is true.
 	BuildTime time.Duration
 	SizeBytes int
+	// Loaded reports that the index was installed by LoadIndexes instead of
+	// being built.
+	Loaded bool
 }
 
 // BuiltIndexes reports every index built so far by name — the observability
@@ -257,22 +271,22 @@ func (e *Engine) BuiltIndexes() map[string]IndexInfo {
 	defer e.mu.Unlock()
 	out := map[string]IndexInfo{}
 	if e.gt != nil {
-		out["Gtree"] = IndexInfo{e.BuildTimes["Gtree"], e.gt.SizeBytes()}
+		out["Gtree"] = IndexInfo{e.BuildTimes["Gtree"], e.gt.SizeBytes(), e.loaded["Gtree"]}
 	}
 	if e.rd != nil {
-		out["ROAD"] = IndexInfo{e.BuildTimes["ROAD"], e.rd.SizeBytes()}
+		out["ROAD"] = IndexInfo{e.BuildTimes["ROAD"], e.rd.SizeBytes(), e.loaded["ROAD"]}
 	}
 	if e.sc != nil {
-		out["SILC"] = IndexInfo{e.BuildTimes["SILC"], e.sc.SizeBytes()}
+		out["SILC"] = IndexInfo{e.BuildTimes["SILC"], e.sc.SizeBytes(), e.loaded["SILC"]}
 	}
 	if e.chx != nil {
-		out["CH"] = IndexInfo{e.BuildTimes["CH"], e.chx.SizeBytes()}
+		out["CH"] = IndexInfo{e.BuildTimes["CH"], e.chx.SizeBytes(), e.loaded["CH"]}
 	}
 	if e.phlx != nil {
-		out["PHL"] = IndexInfo{e.BuildTimes["PHL"], e.phlx.SizeBytes()}
+		out["PHL"] = IndexInfo{e.BuildTimes["PHL"], e.phlx.SizeBytes(), e.loaded["PHL"]}
 	}
 	if e.tnrx != nil {
-		out["TNR"] = IndexInfo{e.BuildTimes["TNR"], e.tnrx.SizeBytes()}
+		out["TNR"] = IndexInfo{e.BuildTimes["TNR"], e.tnrx.SizeBytes(), e.loaded["TNR"]}
 	}
 	return out
 }

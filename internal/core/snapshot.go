@@ -1,0 +1,198 @@
+// Index persistence for the engine: SaveIndexes writes every built index
+// into one snapshot container, LoadIndexes installs indexes decoded from a
+// snapshot so the lazy-build getters find them already present. Decoding
+// runs in parallel across sections (CH first — TNR shares the hierarchy),
+// and BuiltIndexes distinguishes loaded from built entries so callers can
+// verify a warm start skipped construction.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"rnknn/internal/ch"
+	"rnknn/internal/gtree"
+	"rnknn/internal/phl"
+	"rnknn/internal/road"
+	"rnknn/internal/silc"
+	"rnknn/internal/snapshot"
+	"rnknn/internal/tnr"
+)
+
+// newPayloadReader wraps a section payload so codec readers can bound their
+// allocations by the bytes actually present (snapio detects Len).
+func newPayloadReader(data []byte) *bytes.Reader { return bytes.NewReader(data) }
+
+// Fingerprint returns the snapshot fingerprint of the engine's graph,
+// computed once — it walks every graph array, which is worth amortizing
+// across the save/load/cache-path calls of one Open.
+func (e *Engine) Fingerprint() uint64 {
+	e.fpOnce.Do(func() { e.fp = snapshot.Fingerprint(e.G) })
+	return e.fp
+}
+
+// Section names in the snapshot container, matching the BuildTimes keys.
+const (
+	secGtree = "Gtree"
+	secROAD  = "ROAD"
+	secSILC  = "SILC"
+	secCH    = "CH"
+	secPHL   = "PHL"
+	secTNR   = "TNR"
+)
+
+// SaveIndexes writes every index built so far as one snapshot. Indexes are
+// immutable once built, so encoding proceeds outside the engine lock and
+// concurrent queries keep running. Saving an engine with no built indexes
+// writes a valid, empty snapshot.
+func (e *Engine) SaveIndexes(w io.Writer) error {
+	e.mu.Lock()
+	gt, rd, sc, chx, phlx, tnrx := e.gt, e.rd, e.sc, e.chx, e.phlx, e.tnrx
+	e.mu.Unlock()
+
+	var secs []snapshot.Section
+	add := func(name string, wt io.WriterTo) {
+		secs = append(secs, snapshot.Section{Name: name, Encode: func(w io.Writer) error {
+			_, err := wt.WriteTo(w)
+			return err
+		}})
+	}
+	if gt != nil {
+		add(secGtree, gt)
+	}
+	if rd != nil {
+		add(secROAD, rd)
+	}
+	if sc != nil {
+		add(secSILC, sc)
+	}
+	if chx != nil {
+		add(secCH, chx)
+	}
+	if phlx != nil {
+		add(secPHL, phlx)
+	}
+	if tnrx != nil {
+		add(secTNR, tnrx)
+	}
+	return snapshot.Write(w, e.Fingerprint(), secs)
+}
+
+// LoadIndexes reads a snapshot written by SaveIndexes and installs every
+// index it contains that the engine has not already built, so the lazy
+// getters (and EnsureIndex) treat them as present. The snapshot must carry
+// the fingerprint of the engine's graph (ErrFingerprintMismatch otherwise);
+// corrupt containers or payloads surface ErrBadSnapshot. Sections decode in
+// parallel across CPU cores; unknown section names are skipped (that is how
+// old binaries read snapshots that carry indexes added later). BuildTimes
+// records the decode time of each loaded index, and BuiltIndexes marks it
+// Loaded.
+func (e *Engine) LoadIndexes(r io.Reader) error {
+	payloads, err := snapshot.Read(r, e.Fingerprint())
+	if err != nil {
+		return err
+	}
+	byName := make(map[string][]byte, len(payloads))
+	for _, p := range payloads {
+		byName[p.Name] = p.Data
+	}
+
+	// CH decodes first: TNR shares the hierarchy object, and an engine that
+	// already built one reuses it.
+	e.mu.Lock()
+	chx := e.chx
+	e.mu.Unlock()
+	var chTime time.Duration
+	chLoaded := false
+	if data, ok := byName[secCH]; ok && chx == nil {
+		start := time.Now()
+		chx, err = ch.Read(newPayloadReader(data), e.G)
+		if err != nil {
+			return fmt.Errorf("%w: section %s: %v", snapshot.ErrBadSnapshot, secCH, err)
+		}
+		chTime, chLoaded = time.Since(start), true
+	}
+	if _, ok := byName[secTNR]; ok && chx == nil {
+		return fmt.Errorf("%w: snapshot has a TNR section but no CH section to share its hierarchy", snapshot.ErrBadSnapshot)
+	}
+
+	// Remaining sections decode in parallel, one goroutine per section.
+	type result struct {
+		name string
+		idx  any
+		took time.Duration
+		err  error
+	}
+	decoders := map[string]func(data []byte) (any, error){
+		secGtree: func(d []byte) (any, error) { return gtree.Read(newPayloadReader(d), e.G) },
+		secROAD:  func(d []byte) (any, error) { return road.Read(newPayloadReader(d), e.G) },
+		secSILC:  func(d []byte) (any, error) { return silc.Read(newPayloadReader(d), e.G) },
+		secPHL:   func(d []byte) (any, error) { return phl.Read(newPayloadReader(d), e.G.NumVertices()) },
+		secTNR:   func(d []byte) (any, error) { return tnr.Read(newPayloadReader(d), chx) },
+	}
+	results := make(chan result, len(byName))
+	launched := 0
+	for name, decode := range decoders {
+		data, ok := byName[name]
+		if !ok {
+			continue
+		}
+		launched++
+		go func(name string, decode func([]byte) (any, error), data []byte) {
+			start := time.Now()
+			idx, err := decode(data)
+			results <- result{name: name, idx: idx, took: time.Since(start), err: err}
+		}(name, decode, data)
+	}
+	decoded := make(map[string]result, launched)
+	for i := 0; i < launched; i++ {
+		res := <-results
+		if res.err != nil {
+			err = fmt.Errorf("%w: section %s: %v", snapshot.ErrBadSnapshot, res.name, res.err)
+		}
+		decoded[res.name] = res
+	}
+	if err != nil {
+		return err
+	}
+
+	// Install atomically: only indexes the engine has not built yet.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.loaded == nil {
+		e.loaded = map[string]bool{}
+	}
+	if chLoaded && e.chx == nil {
+		e.chx = chx
+		e.BuildTimes[secCH] = chTime
+		e.loaded[secCH] = true
+	}
+	if res, ok := decoded[secGtree]; ok && e.gt == nil {
+		e.gt = res.idx.(*gtree.Index)
+		e.BuildTimes[secGtree] = res.took
+		e.loaded[secGtree] = true
+	}
+	if res, ok := decoded[secROAD]; ok && e.rd == nil {
+		e.rd = res.idx.(*road.Index)
+		e.BuildTimes[secROAD] = res.took
+		e.loaded[secROAD] = true
+	}
+	if res, ok := decoded[secSILC]; ok && e.sc == nil {
+		e.sc = res.idx.(*silc.Index)
+		e.BuildTimes[secSILC] = res.took
+		e.loaded[secSILC] = true
+	}
+	if res, ok := decoded[secPHL]; ok && e.phlx == nil {
+		e.phlx = res.idx.(*phl.Index)
+		e.BuildTimes[secPHL] = res.took
+		e.loaded[secPHL] = true
+	}
+	if res, ok := decoded[secTNR]; ok && e.tnrx == nil {
+		e.tnrx = res.idx.(*tnr.Index)
+		e.BuildTimes[secTNR] = res.took
+		e.loaded[secTNR] = true
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Binary snapshot codec for the G-tree. Only the expensive build products
+// are persisted — the partition tree and the per-node distance matrices;
+// positions, leaf CSRs, border lists, and the internal-node layout are
+// recomputed on load by the same deterministic passes Build runs (they are
+// linear in the graph, versus the Dijkstra cascades behind the matrices).
+// See docs/SNAPSHOT_FORMAT.md.
+package gtree
+
+import (
+	"io"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/partition"
+	"rnknn/internal/snapio"
+)
+
+// codecVersion is the G-tree section layout version.
+const codecVersion uint16 = 1
+
+// WriteTo serializes the index (io.WriterTo).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := snapio.NewWriter(w)
+	sw.U16(codecVersion)
+	sw.U32(uint32(x.Tau))
+	partition.Encode(x.PT, sw)
+	sw.U32(uint32(len(x.nodes)))
+	for i := range x.nodes {
+		sw.U32(uint32(x.nodes[i].stride))
+		sw.I32s(x.nodes[i].mat)
+	}
+	return sw.Result()
+}
+
+// Read deserializes an index written by WriteTo, rebuilding the derived
+// fields over g. The matrices are validated against the dimensions the
+// recomputed layout implies, so a snapshot for a different graph (or a
+// corrupt one) fails instead of producing wrong distances.
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	sr := snapio.NewReader(r)
+	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
+		sr.Failf("gtree codec version %d (want %d)", v, codecVersion)
+	}
+	tau := int(sr.U32())
+	pt := partition.Decode(sr, g.NumVertices())
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	x := &Index{G: g, PT: pt, Tau: tau}
+	x.nodes = make([]node, len(pt.Nodes))
+	x.computePositions()
+	x.extractLeafCSRs()
+	x.computeBorders()
+	x.layoutInternalNodes()
+
+	if count := int(sr.U32()); sr.Err() == nil && count != len(x.nodes) {
+		sr.Failf("gtree snapshot has %d nodes, partition has %d", count, len(x.nodes))
+	}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	for ni := range x.nodes {
+		n := &x.nodes[ni]
+		n.stride = int32(sr.U32())
+		n.mat = sr.I32s()
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		var wantStride, wantLen int
+		if pt.Nodes[ni].IsLeaf() {
+			wantStride = len(pt.Nodes[ni].Vertices)
+			wantLen = len(n.borders) * wantStride
+		} else {
+			wantStride = len(n.childBorders)
+			wantLen = wantStride * wantStride
+		}
+		if int(n.stride) != wantStride || len(n.mat) != wantLen {
+			sr.Failf("gtree node %d matrix is %dx%d cells, want stride %d with %d cells",
+				ni, n.stride, len(n.mat), wantStride, wantLen)
+			return nil, sr.Err()
+		}
+	}
+	return x, nil
+}

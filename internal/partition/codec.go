@@ -1,0 +1,99 @@
+// Binary codec for the partition tree, embedded inside the G-tree and ROAD
+// snapshot sections (both indexes are hierarchies over a Tree, and the tree
+// itself is the one build product the cheap derived fields cannot be
+// recomputed from). See docs/SNAPSHOT_FORMAT.md.
+package partition
+
+import (
+	"rnknn/internal/snapio"
+)
+
+// Encode serializes t into w. The layout is: fanout u32, node count u32,
+// then per node parent i32, level i32, leafLo i32, leafHi i32, children
+// []int32, vertices []int32; then LeafOf []int32 and LeafSeq []int32.
+func Encode(t *Tree, w *snapio.Writer) {
+	w.U32(uint32(t.Fanout))
+	w.U32(uint32(len(t.Nodes)))
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		w.U32(uint32(n.Parent))
+		w.U32(uint32(n.Level))
+		w.U32(uint32(n.LeafLo))
+		w.U32(uint32(n.LeafHi))
+		w.I32s(n.Children)
+		w.I32s(n.Vertices)
+	}
+	w.I32s(t.LeafOf)
+	w.I32s(t.LeafSeq)
+}
+
+// maxTreeNodes bounds the node count read from a snapshot so a corrupt
+// prefix cannot drive a huge allocation (the deepest real hierarchies are a
+// few thousand nodes).
+const maxTreeNodes = 1 << 26
+
+// Decode reads a tree written by Encode for a graph of numVertices vertices,
+// validating structural invariants (indexes in range, per-vertex maps the
+// right length). On any inconsistency it records an error on r and returns
+// nil.
+func Decode(r *snapio.Reader, numVertices int) *Tree {
+	t := &Tree{Fanout: int(r.U32())}
+	count := int(r.U32())
+	if r.Err() != nil {
+		return nil
+	}
+	if count <= 0 || count > maxTreeNodes {
+		r.Failf("partition tree has implausible node count %d", count)
+		return nil
+	}
+	t.Nodes = make([]Node, count)
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		n.Parent = int32(r.U32())
+		n.Level = int32(r.U32())
+		n.LeafLo = int32(r.U32())
+		n.LeafHi = int32(r.U32())
+		n.Children = r.I32s()
+		n.Vertices = r.I32s()
+		if r.Err() != nil {
+			return nil
+		}
+		if (i == 0) != (n.Parent == -1) {
+			r.Failf("partition node %d parent %d (only the root may be -1)", i, n.Parent)
+			return nil
+		}
+		if i > 0 && (n.Parent < 0 || int(n.Parent) >= count) {
+			r.Failf("partition node %d parent %d out of range", i, n.Parent)
+			return nil
+		}
+		for _, c := range n.Children {
+			if c <= 0 || int(c) >= count {
+				r.Failf("partition node %d child %d out of range", i, c)
+				return nil
+			}
+		}
+		for _, v := range n.Vertices {
+			if v < 0 || int(v) >= numVertices {
+				r.Failf("partition node %d vertex %d out of range", i, v)
+				return nil
+			}
+		}
+	}
+	t.LeafOf = r.I32s()
+	t.LeafSeq = r.I32s()
+	if r.Err() != nil {
+		return nil
+	}
+	if len(t.LeafOf) != numVertices || len(t.LeafSeq) != numVertices {
+		r.Failf("partition vertex maps have %d/%d entries for %d vertices",
+			len(t.LeafOf), len(t.LeafSeq), numVertices)
+		return nil
+	}
+	for v, li := range t.LeafOf {
+		if li < 0 || int(li) >= count || !t.Nodes[li].IsLeaf() {
+			r.Failf("vertex %d mapped to invalid leaf %d", v, li)
+			return nil
+		}
+	}
+	return t
+}

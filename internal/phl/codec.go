@@ -1,0 +1,47 @@
+// Binary snapshot codec for the hub labeling: the CSR label arrays are the
+// entire index. See docs/SNAPSHOT_FORMAT.md.
+package phl
+
+import (
+	"io"
+
+	"rnknn/internal/snapio"
+)
+
+// codecVersion is the PHL section layout version.
+const codecVersion uint16 = 1
+
+// WriteTo serializes the index (io.WriterTo).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := snapio.NewWriter(w)
+	sw.U16(codecVersion)
+	sw.I32s(x.off)
+	sw.I32s(x.hubs)
+	sw.I32s(x.dist)
+	return sw.Result()
+}
+
+// Read deserializes an index written by WriteTo for a graph of numVertices
+// vertices, validating the CSR invariants.
+func Read(r io.Reader, numVertices int) (*Index, error) {
+	sr := snapio.NewReader(r)
+	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
+		sr.Failf("phl codec version %d (want %d)", v, codecVersion)
+	}
+	x := &Index{off: sr.I32s(), hubs: sr.I32s(), dist: sr.I32s()}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	n := numVertices
+	if len(x.off) != n+1 || x.off[0] != 0 || int(x.off[n]) != len(x.hubs) || len(x.hubs) != len(x.dist) {
+		sr.Failf("phl label CSR is inconsistent for %d vertices", n)
+		return nil, sr.Err()
+	}
+	for v := 0; v < n; v++ {
+		if x.off[v] > x.off[v+1] {
+			sr.Failf("phl offsets not monotone at %d", v)
+			return nil, sr.Err()
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,56 @@
+// Binary snapshot codec for ROAD. Persists the partition tree and the
+// global shortcut array (the Dijkstra-heavy build products); border lists,
+// matrix offsets, and the Route Overlay are recomputed on load by the same
+// deterministic linear passes Build runs. See docs/SNAPSHOT_FORMAT.md.
+package road
+
+import (
+	"io"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/partition"
+	"rnknn/internal/snapio"
+)
+
+// codecVersion is the ROAD section layout version.
+const codecVersion uint16 = 1
+
+// WriteTo serializes the index (io.WriterTo).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := snapio.NewWriter(w)
+	sw.U16(codecVersion)
+	sw.U32(uint32(x.Levels))
+	partition.Encode(x.PT, sw)
+	sw.I32s(x.shorts)
+	return sw.Result()
+}
+
+// Read deserializes an index written by WriteTo, rebuilding borders, matrix
+// offsets, and the Route Overlay over g and validating the shortcut array
+// length against them.
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	sr := snapio.NewReader(r)
+	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
+		sr.Failf("road codec version %d (want %d)", v, codecVersion)
+	}
+	levels := int(sr.U32())
+	pt := partition.Decode(sr, g.NumVertices())
+	shorts := sr.I32s()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	x := &Index{G: g, PT: pt, Levels: levels, shorts: shorts}
+	x.computeBorders()
+	x.matOff = make([]int32, len(pt.Nodes)+1)
+	for ni := range pt.Nodes {
+		b := len(x.borders[ni])
+		x.matOff[ni+1] = x.matOff[ni] + int32(b*b)
+	}
+	if len(shorts) != int(x.matOff[len(pt.Nodes)]) {
+		sr.Failf("road shortcut array has %d cells, borders imply %d",
+			len(shorts), x.matOff[len(pt.Nodes)])
+		return nil, sr.Err()
+	}
+	x.buildRouteOverlay()
+	return x, nil
+}

@@ -1,0 +1,135 @@
+// Binary snapshot codec for SILC — the index whose O(|V|^2 log |V|) build
+// makes persistence pay off most. Persists the Morton permutation and every
+// source's Morton list (block starts, first moves, and the conservative
+// lambda bounds as raw IEEE-754 bits, so reloaded intervals are bit-identical
+// to the built ones); the degree-2 chain marks are recomputed from the
+// graph. See docs/SNAPSHOT_FORMAT.md.
+package silc
+
+import (
+	"io"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/snapio"
+)
+
+// codecVersion is the SILC section layout version.
+const codecVersion uint16 = 1
+
+// WriteTo serializes the index (io.WriterTo).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := snapio.NewWriter(w)
+	sw.U16(codecVersion)
+	sw.Bool(x.ChainOptimization)
+	sw.I32s(x.rank)
+	sw.I32s(x.byRank)
+	// Morton lists as one CSR: per-source offsets, then the block fields as
+	// parallel flat arrays.
+	n := len(x.trees)
+	off := make([]int32, n+1)
+	total := 0
+	for s, tree := range x.trees {
+		total += len(tree)
+		off[s+1] = int32(total)
+	}
+	starts := make([]int32, 0, total)
+	firsts := make([]int32, 0, total)
+	lamLo := make([]float32, 0, total)
+	lamHi := make([]float32, 0, total)
+	for _, tree := range x.trees {
+		for _, b := range tree {
+			starts = append(starts, b.start)
+			firsts = append(firsts, b.first)
+			lamLo = append(lamLo, b.lamLo)
+			lamHi = append(lamHi, b.lamHi)
+		}
+	}
+	sw.I32s(off)
+	sw.I32s(starts)
+	sw.I32s(firsts)
+	sw.F32s(lamLo)
+	sw.F32s(lamHi)
+	return sw.Result()
+}
+
+// Read deserializes an index written by WriteTo over g, validating the
+// permutation and CSR dimensions and recomputing the chain marks.
+func Read(r io.Reader, g *graph.Graph) (*Index, error) {
+	sr := snapio.NewReader(r)
+	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
+		sr.Failf("silc codec version %d (want %d)", v, codecVersion)
+	}
+	chainOpt := sr.Bool()
+	rank := sr.I32s()
+	byRank := sr.I32s()
+	off := sr.I32s()
+	starts := sr.I32s()
+	firsts := sr.I32s()
+	lamLo := sr.F32s()
+	lamHi := sr.F32s()
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	n := g.NumVertices()
+	total := len(starts)
+	switch {
+	case len(rank) != n || len(byRank) != n:
+		sr.Failf("silc permutation has %d/%d entries for %d vertices", len(rank), len(byRank), n)
+	case len(off) != n+1 || off[0] != 0 || int(off[n]) != total:
+		sr.Failf("silc Morton-list CSR is inconsistent")
+	case len(firsts) != total || len(lamLo) != total || len(lamHi) != total:
+		sr.Failf("silc block arrays disagree on length")
+	}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	for v := 0; v < n; v++ {
+		if rank[v] < 0 || int(rank[v]) >= n || byRank[rank[v]] != int32(v) {
+			sr.Failf("silc Morton permutation is not a bijection at vertex %d", v)
+			return nil, sr.Err()
+		}
+	}
+	x := &Index{
+		G:                 g,
+		rank:              rank,
+		byRank:            byRank,
+		trees:             make([][]block, n),
+		isChain:           make([]bool, n),
+		ChainOptimization: chainOpt,
+	}
+	for v := int32(0); v < int32(n); v++ {
+		x.isChain[v] = g.Degree(v) <= 2
+	}
+	blocks := make([]block, total)
+	for i := range blocks {
+		if firsts[i] < 0 || int(firsts[i]) >= n {
+			sr.Failf("silc first move %d out of range at block %d", firsts[i], i)
+			return nil, sr.Err()
+		}
+		blocks[i] = block{start: starts[i], first: firsts[i], lamLo: lamLo[i], lamHi: lamHi[i]}
+	}
+	for s := 0; s < n; s++ {
+		lo, hi := off[s], off[s+1]
+		if lo > hi {
+			sr.Failf("silc Morton-list offsets not monotone at %d", s)
+			return nil, sr.Err()
+		}
+		tree := blocks[lo:hi:hi]
+		if len(tree) == 0 || tree[0].start != 0 {
+			sr.Failf("silc source %d has an empty or misaligned Morton list", s)
+			return nil, sr.Err()
+		}
+		for i := range tree {
+			if i > 0 && tree[i].start <= tree[i-1].start {
+				sr.Failf("silc source %d block starts not increasing", s)
+				return nil, sr.Err()
+			}
+			if tree[i].start < 0 || int(tree[i].start) >= n {
+				sr.Failf("silc source %d block start out of range", s)
+				return nil, sr.Err()
+			}
+		}
+		x.trees[s] = tree
+	}
+	return x, nil
+}

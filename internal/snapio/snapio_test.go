@@ -1,0 +1,113 @@
+package snapio_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rnknn/internal/snapio"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	w.U8(200)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(65_000)
+	w.U32(4_000_000_000)
+	w.U64(1 << 60)
+	w.String("hello")
+	w.String("")
+	w.I32s([]int32{-1, 0, 1 << 30})
+	w.I32s(nil)
+	w.I64s([]int64{-5, 1 << 50})
+	w.F32s([]float32{1.5, -0.25})
+	if n, err := w.Result(); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("result n=%d err=%v buf=%d", n, err, buf.Len())
+	}
+
+	r := snapio.NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.U8(); got != 200 {
+		t.Fatalf("U8 %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool")
+	}
+	if got := r.U16(); got != 65_000 {
+		t.Fatalf("U16 %d", got)
+	}
+	if got := r.U32(); got != 4_000_000_000 {
+		t.Fatalf("U32 %d", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("String %q", got)
+	}
+	if got := r.I32s(); len(got) != 3 || got[0] != -1 || got[2] != 1<<30 {
+		t.Fatalf("I32s %v", got)
+	}
+	if got := r.I32s(); got != nil {
+		t.Fatalf("empty I32s %v", got)
+	}
+	if got := r.I64s(); len(got) != 2 || got[1] != 1<<50 {
+		t.Fatalf("I64s %v", got)
+	}
+	if got := r.F32s(); len(got) != 2 || got[0] != 1.5 || got[1] != -0.25 {
+		t.Fatalf("F32s %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBogusLengthPrefix asserts a huge length prefix fails with ErrCorrupt
+// instead of attempting the allocation (the reader knows how many bytes
+// remain).
+func TestBogusLengthPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	w.U32(1 << 31) // length prefix promising 2^31 int32s
+	if _, err := w.Result(); err != nil {
+		t.Fatal(err)
+	}
+	r := snapio.NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.I32s(); got != nil {
+		t.Fatalf("got %d elements", len(got))
+	}
+	if !errors.Is(r.Err(), snapio.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", r.Err())
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	w.I32s([]int32{1, 2, 3, 4})
+	if _, err := w.Result(); err != nil {
+		t.Fatal(err)
+	}
+	r := snapio.NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()-2]))
+	_ = r.I32s()
+	if !errors.Is(r.Err(), snapio.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", r.Err())
+	}
+}
+
+func TestErrorSticks(t *testing.T) {
+	r := snapio.NewReader(bytes.NewReader(nil))
+	_ = r.U32()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	_ = r.U64()
+	if r.Err() != first {
+		t.Fatal("error did not stick")
+	}
+}

@@ -1,0 +1,264 @@
+// Package snapshot frames the versioned, self-describing container that
+// persists built road-network indexes (see docs/SNAPSHOT_FORMAT.md for the
+// byte-level specification and the compatibility policy).
+//
+// A snapshot is: magic "RNKS", a format version, the fingerprint of the
+// graph the indexes were built over, a section table (name, payload length,
+// CRC-32C), and the section payloads. Sections are encoded in parallel
+// across CPU cores at write time and checksum-verified in parallel at read
+// time; the payload bytes themselves are each index's own WriteTo encoding.
+//
+// The container knows nothing about index internals: callers (core.Engine)
+// map section names to codecs. Unknown section names are preserved for the
+// caller, which may skip them — that is what lets future snapshots add new
+// index kinds without a format-version bump.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"sync"
+
+	"rnknn/internal/graph"
+)
+
+// Magic starts every snapshot file.
+const Magic = "RNKS"
+
+// Version is the container format version this package writes and the only
+// one it reads.
+const Version = 1
+
+// maxSections bounds the section table so a corrupt count cannot drive a
+// huge allocation.
+const maxSections = 64
+
+var (
+	// ErrBadSnapshot reports a snapshot that is not parseable: wrong magic,
+	// unsupported version, truncated data, a checksum mismatch, or a section
+	// payload its codec rejects.
+	ErrBadSnapshot = errors.New("snapshot: malformed or corrupt snapshot")
+	// ErrFingerprintMismatch reports a structurally valid snapshot whose
+	// indexes were built over a different graph than the one being loaded.
+	ErrFingerprintMismatch = errors.New("snapshot: graph fingerprint mismatch")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Fingerprint hashes everything an index build depends on — name, active
+// weight kind, topology, both weight arrays, and vertex coordinates — so a
+// snapshot can only be loaded against the graph it was built from. FNV-64a
+// over the little-endian encoding of each array.
+func Fingerprint(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	// Batch the element encodings through one buffer: a h.Write per element
+	// would cost an interface call per 4 bytes on multi-million-edge graphs.
+	buf := make([]byte, 0, 1<<16)
+	flushAt := func(headroom int) {
+		if len(buf)+headroom > cap(buf) {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	u64 := func(v uint64) {
+		flushAt(8)
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = append(buf, "rnknn-graph-fingerprint-v1"...)
+	buf = append(buf, g.Name...)
+	u64(uint64(g.Kind))
+	u64(uint64(g.NumVertices()))
+	u64(uint64(g.NumEdges()))
+	for _, arr := range [][]int32{g.Offsets, g.Targets, g.DistW, g.TimeW} {
+		for _, v := range arr {
+			flushAt(4)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	for _, arr := range [][]float64{g.X, g.Y} {
+		for _, v := range arr {
+			u64(math.Float64bits(v))
+		}
+	}
+	h.Write(buf)
+	return h.Sum64()
+}
+
+// Section is one named payload to write: Encode streams the index's bytes.
+type Section struct {
+	Name   string
+	Encode func(w io.Writer) error
+}
+
+// Payload is one named section read back from a snapshot, checksum-verified.
+type Payload struct {
+	Name string
+	Data []byte
+}
+
+// Write encodes every section (in parallel, one goroutine per section — the
+// Go scheduler spreads them across cores) and frames them into w with the
+// graph fingerprint. Section names must be unique, non-empty, and at most
+// 255 bytes.
+func Write(w io.Writer, fingerprint uint64, sections []Section) error {
+	if len(sections) > maxSections {
+		return fmt.Errorf("%w: %d sections exceeds the limit of %d", ErrBadSnapshot, len(sections), maxSections)
+	}
+	seen := map[string]bool{}
+	for _, s := range sections {
+		if s.Name == "" || len(s.Name) > 255 || seen[s.Name] {
+			return fmt.Errorf("%w: invalid or duplicate section name %q", ErrBadSnapshot, s.Name)
+		}
+		seen[s.Name] = true
+	}
+
+	bufs := make([]bytes.Buffer, len(sections))
+	errs := make([]error, len(sections))
+	var wg sync.WaitGroup
+	for i, s := range sections {
+		wg.Add(1)
+		go func(i int, s Section) {
+			defer wg.Done()
+			errs[i] = s.Encode(&bufs[i])
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("snapshot: encoding section %s: %w", sections[i].Name, err)
+		}
+	}
+
+	var hdr bytes.Buffer
+	hdr.WriteString(Magic)
+	le := binary.LittleEndian
+	var scratch [8]byte
+	u32 := func(v uint32) { le.PutUint32(scratch[:4], v); hdr.Write(scratch[:4]) }
+	u64 := func(v uint64) { le.PutUint64(scratch[:], v); hdr.Write(scratch[:]) }
+	u32(Version)
+	u64(fingerprint)
+	u32(uint32(len(sections)))
+	for i, s := range sections {
+		hdr.WriteByte(byte(len(s.Name)))
+		hdr.WriteString(s.Name)
+		u64(uint64(bufs[i].Len()))
+		u32(crc32.Checksum(bufs[i].Bytes(), castagnoli))
+	}
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	for i := range bufs {
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readPayload reads one section payload of the declared size in bounded
+// chunks, so a corrupt size field in the (unchecksummed) section table costs
+// at most one chunk of over-allocation before the truncated stream surfaces
+// as ErrBadSnapshot — never an OOM-sized make.
+func readPayload(r io.Reader, name string, size uint64) ([]byte, error) {
+	if size > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible section size %d", ErrBadSnapshot, size)
+	}
+	const chunk = 1 << 22 // 4 MiB
+	data := make([]byte, 0, min(size, chunk))
+	for remaining := size; remaining > 0; {
+		step := min(remaining, chunk)
+		off := len(data)
+		data = append(data, make([]byte, step)...)
+		if _, err := io.ReadFull(r, data[off:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated section %s: %v", ErrBadSnapshot, name, err)
+		}
+		remaining -= step
+	}
+	return data, nil
+}
+
+// Read parses a snapshot, rejects it unless its fingerprint equals
+// fingerprint, and returns the sections with checksums verified (in
+// parallel). Section payloads are fully materialized in memory — they decode
+// into in-memory indexes anyway.
+func Read(r io.Reader, fingerprint uint64) ([]Payload, error) {
+	var hdr [4 + 4 + 8 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, hdr[:4])
+	}
+	le := binary.LittleEndian
+	if v := le.Uint32(hdr[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrBadSnapshot, v, Version)
+	}
+	if fp := le.Uint64(hdr[8:16]); fp != fingerprint {
+		return nil, fmt.Errorf("%w: snapshot %016x vs graph %016x", ErrFingerprintMismatch, fp, fingerprint)
+	}
+	count := int(le.Uint32(hdr[16:20]))
+	if count < 0 || count > maxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadSnapshot, count)
+	}
+
+	type entry struct {
+		name string
+		size uint64
+		crc  uint32
+	}
+	entries := make([]entry, count)
+	var scratch [8]byte
+	for i := range entries {
+		if _, err := io.ReadFull(r, scratch[:1]); err != nil {
+			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
+		}
+		name := make([]byte, scratch[0])
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
+		}
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
+		}
+		entries[i].name = string(name)
+		entries[i].size = le.Uint64(scratch[:8])
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
+		}
+		entries[i].crc = le.Uint32(scratch[:4])
+	}
+
+	payloads := make([]Payload, count)
+	for i, e := range entries {
+		data, err := readPayload(r, e.name, e.size)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = Payload{Name: e.name, Data: data}
+	}
+
+	// Verify checksums in parallel, one goroutine per section.
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for i := range payloads {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if crc32.Checksum(payloads[i].Data, castagnoli) != entries[i].crc {
+				errs[i] = fmt.Errorf("%w: checksum mismatch in section %s", ErrBadSnapshot, payloads[i].Name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return payloads, nil
+}

@@ -1,0 +1,92 @@
+// Binary snapshot codec for TNR: the transit table, per-vertex access-node
+// lists, and local cones. The transit marker array is derived from the
+// serialized id map; the contraction hierarchy is not duplicated — the
+// caller supplies the (already loaded or built) ch.Index, mirroring how
+// Build shares it. See docs/SNAPSHOT_FORMAT.md.
+package tnr
+
+import (
+	"io"
+
+	"rnknn/internal/ch"
+	"rnknn/internal/snapio"
+)
+
+// codecVersion is the TNR section layout version.
+const codecVersion uint16 = 1
+
+// WriteTo serializes the index (io.WriterTo).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	sw := snapio.NewWriter(w)
+	sw.U16(codecVersion)
+	sw.U32(uint32(x.numT))
+	sw.I32s(x.transitID)
+	sw.I64s(x.table)
+	sw.I32s(x.accOff)
+	sw.I32s(x.accID)
+	sw.I64s(x.accD)
+	sw.I32s(x.coneOff)
+	sw.I32s(x.coneV)
+	sw.I64s(x.coneD)
+	return sw.Result()
+}
+
+// Read deserializes an index written by WriteTo over the given hierarchy
+// (the same sharing Build uses), validating table and CSR dimensions.
+func Read(r io.Reader, hierarchy *ch.Index) (*Index, error) {
+	sr := snapio.NewReader(r)
+	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
+		sr.Failf("tnr codec version %d (want %d)", v, codecVersion)
+	}
+	x := &Index{
+		hierarchy: hierarchy,
+		numT:      int(sr.U32()),
+		transitID: sr.I32s(),
+		table:     sr.I64s(),
+		accOff:    sr.I32s(),
+		accID:     sr.I32s(),
+		accD:      sr.I64s(),
+		coneOff:   sr.I32s(),
+		coneV:     sr.I32s(),
+		coneD:     sr.I64s(),
+	}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	n := len(x.transitID)
+	m := x.numT
+	switch {
+	case m < 0 || m > n || len(x.table) != m*m:
+		sr.Failf("tnr table is %d cells for %d transit nodes", len(x.table), m)
+	case len(x.accOff) != n+1 || len(x.coneOff) != n+1:
+		sr.Failf("tnr offsets have %d/%d entries for %d vertices", len(x.accOff), len(x.coneOff), n)
+	case x.accOff[0] != 0 || int(x.accOff[n]) != len(x.accID) || len(x.accID) != len(x.accD):
+		sr.Failf("tnr access-node CSR is inconsistent")
+	case x.coneOff[0] != 0 || int(x.coneOff[n]) != len(x.coneV) || len(x.coneV) != len(x.coneD):
+		sr.Failf("tnr cone CSR is inconsistent")
+	}
+	if sr.Err() != nil {
+		return nil, sr.Err()
+	}
+	x.isTransit = make([]bool, n)
+	for v, id := range x.transitID {
+		if id < -1 || int(id) >= m {
+			sr.Failf("tnr transit id %d out of range at vertex %d", id, v)
+			return nil, sr.Err()
+		}
+		x.isTransit[v] = id >= 0
+	}
+	for i, id := range x.accID {
+		if id < 0 || int(id) >= m {
+			sr.Failf("tnr access node %d out of range at entry %d", id, i)
+			return nil, sr.Err()
+		}
+	}
+	for i, v := range x.coneV {
+		if v < 0 || int(v) >= n {
+			sr.Failf("tnr cone vertex %d out of range at entry %d", v, i)
+			return nil, sr.Err()
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,98 @@
+package rnknn_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"rnknn/pkg/rnknn"
+)
+
+// exampleGraph builds a tiny 2x3 grid road network through the public
+// GraphBuilder: vertex v sits at column v%3, row v/3, cells 1000 units
+// apart, every edge 1000 long in both weight metrics.
+//
+//	0 - 1 - 2
+//	|   |   |
+//	3 - 4 - 5
+func exampleGraph() *rnknn.Graph {
+	x := []float64{0, 1000, 2000, 0, 1000, 2000}
+	y := []float64{0, 0, 0, 1000, 1000, 1000}
+	b := rnknn.NewGraphBuilder(6, x, y)
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 3}, {1, 4}, {2, 5}} {
+		b.AddEdge(e[0], e[1], 1000, 1000)
+	}
+	return b.Build("example")
+}
+
+// ExampleOpen mirrors the README quickstart: open a DB, register an object
+// category, and answer a kNN query.
+func ExampleOpen() {
+	g := exampleGraph()
+	db, err := rnknn.Open(g, rnknn.WithMethods(rnknn.Gtree, rnknn.INE))
+	if err != nil {
+		panic(err)
+	}
+	if err := db.RegisterObjects(rnknn.DefaultCategory, []int32{2, 3}); err != nil {
+		panic(err)
+	}
+	results, err := db.KNN(context.Background(), 0, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rnknn.FormatResults(results))
+	// Output: [3:1000 2:2000]
+}
+
+// ExampleDB_KNN queries a named object category with an explicitly chosen
+// method and a range query alongside.
+func ExampleDB_KNN() {
+	g := exampleGraph()
+	db, err := rnknn.Open(g,
+		rnknn.WithMethods(rnknn.INE, rnknn.IERDijk),
+		rnknn.WithObjects("cafes", []int32{2, 4}))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	nearest, err := db.KNN(ctx, 3, 1, rnknn.WithMethod(rnknn.IERDijk), rnknn.WithCategory("cafes"))
+	if err != nil {
+		panic(err)
+	}
+	within, err := db.Range(ctx, 3, 2000, rnknn.WithCategory("cafes"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nearest:", rnknn.FormatResults(nearest))
+	fmt.Println("within 2000:", rnknn.FormatResults(within))
+	// Output:
+	// nearest: [4:1000]
+	// within 2000: [4:1000]
+}
+
+// ExampleWithIndexCache shows the save-after-build / load-before-build
+// lifecycle: the first Open pays construction and writes the snapshot, the
+// second loads it — observable via Stats.
+func ExampleWithIndexCache() {
+	dir, err := os.MkdirTemp("", "rnknn-cache")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g := exampleGraph()
+	open := func() *rnknn.DB {
+		db, err := rnknn.Open(g, rnknn.WithMethods(rnknn.Gtree), rnknn.WithIndexCache(dir))
+		if err != nil {
+			panic(err)
+		}
+		return db
+	}
+	cold := open() // builds the G-tree, saves <name>-<fingerprint>.rnks
+	warm := open() // loads it instead of building
+	fmt.Println("cold open loaded from snapshot:", cold.Stats().Indexes["Gtree"].Loaded)
+	fmt.Println("warm open loaded from snapshot:", warm.Stats().Indexes["Gtree"].Loaded)
+	// Output:
+	// cold open loaded from snapshot: false
+	// warm open loaded from snapshot: true
+}

@@ -23,10 +23,35 @@
 // surfaces as typed errors (ErrUnknownMethod, ErrBadVertex, ...) that work
 // with errors.Is. DB.Stats exposes per-index build cost and per-method
 // query counters.
+//
+// # Index persistence
+//
+// Index construction is the expensive part of Open — G-tree and ROAD are
+// linearithmic, CH/PHL/TNR somewhat above, SILC quadratic — and all of it
+// can be paid once per graph instead of once per process. Three entry
+// points, from most to least automatic:
+//
+//   - WithIndexCache(dir): Open loads dir/<name>-<fingerprint>.rnks if it
+//     matches the graph, builds whatever is missing, and saves the result
+//     back atomically. No other code changes; the second Open of the same
+//     graph skips every build (Stats reports Loaded per index).
+//   - OpenFromSnapshot(g, r): warm-start from a snapshot written earlier —
+//     typically by cmd/buildindex at deploy time.
+//   - DB.SaveIndexes / DB.SaveIndexesFile: write the built indexes
+//     explicitly.
+//
+// A snapshot records the fingerprint of the graph (topology, both weight
+// arrays, the active weight kind, coordinates); loading it against any
+// other graph fails with ErrFingerprintMismatch, and corrupt bytes fail
+// with ErrBadSnapshot — never with silently wrong distances. A loaded index
+// is bit-identical to the built one, so query answers are identical too.
+// The on-disk layout is specified in docs/SNAPSHOT_FORMAT.md.
 package rnknn
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"sync"
 
@@ -57,6 +82,11 @@ type config struct {
 	methods []Method
 	opts    core.Options
 	objects []initialObjects
+	// cacheDir enables the transparent snapshot cache (WithIndexCache).
+	cacheDir string
+	// snapshotR, when non-nil, warm-starts Open from a snapshot
+	// (OpenFromSnapshot).
+	snapshotR io.Reader
 }
 
 type initialObjects struct {
@@ -128,6 +158,11 @@ type DB struct {
 // and ROAD builds linearithmic in |V|, CH/PHL/TNR somewhat above that, and
 // SILC quadratic — the paper restricts SILC (DisBrw) to small networks and
 // so should callers.
+//
+// The construction cost can be paid once per graph instead of once per
+// process: WithIndexCache(dir) saves built indexes to disk and loads them on
+// the next Open, and OpenFromSnapshot warm-starts from a snapshot written by
+// SaveIndexes or cmd/buildindex.
 func Open(g *Graph, opts ...Option) (*DB, error) {
 	if g == nil || g.NumVertices() == 0 {
 		return nil, fmt.Errorf("%w: nil or empty graph", ErrBadGraph)
@@ -156,9 +191,42 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 	}
 	db.eng = core.New(g)
 	db.eng.Opts = cfg.opts
+	if cfg.snapshotR != nil {
+		if err := db.eng.LoadIndexes(cfg.snapshotR); err != nil {
+			return nil, err
+		}
+	}
+	var cachePath string
+	if cfg.cacheDir != "" {
+		if err := os.MkdirAll(cfg.cacheDir, 0o755); err != nil {
+			return nil, err
+		}
+		cachePath = cacheFilePath(cfg.cacheDir, g, db.eng.Fingerprint())
+		if f, err := os.Open(cachePath); err == nil {
+			// Best effort: a missing, corrupt, or mismatched cache file just
+			// means the builds below run and refresh it.
+			_ = db.eng.LoadIndexes(f)
+			f.Close()
+		}
+	}
 	for _, m := range db.methods {
 		db.eng.EnsureIndex(m.kind())
 		db.pools[m] = newSessionPool(db.eng, m.kind())
+	}
+	if cachePath != "" {
+		built := false
+		for _, info := range db.eng.BuiltIndexes() {
+			if !info.Loaded {
+				built = true
+				break
+			}
+		}
+		if built {
+			// Best effort, like the load above: a full or read-only cache
+			// volume must not fail an Open whose indexes all built fine —
+			// the next Open just builds again (see WithIndexCache).
+			_ = writeFileAtomic(cachePath, db.eng.SaveIndexes)
+		}
 	}
 	if db.pools[INE] == nil {
 		db.pools[INE] = newSessionPool(db.eng, core.INE)

@@ -7,10 +7,14 @@ import (
 
 // IndexStats describes one built road-network index.
 type IndexStats struct {
-	// BuildTime is the wall-clock construction time paid at Open.
+	// BuildTime is the wall-clock construction time paid at Open — or, when
+	// Loaded is true, the snapshot decode time.
 	BuildTime time.Duration
 	// SizeBytes estimates the index's in-memory footprint.
 	SizeBytes int
+	// Loaded reports that the index came from a snapshot (OpenFromSnapshot
+	// or a WithIndexCache hit) instead of being built.
+	Loaded bool
 }
 
 // MethodStats aggregates the queries one method has served.
@@ -90,7 +94,7 @@ func (db *DB) Stats() Stats {
 		Categories: map[string]int{},
 	}
 	for name, info := range db.eng.BuiltIndexes() {
-		s.Indexes[name] = IndexStats{BuildTime: info.BuildTime, SizeBytes: info.SizeBytes}
+		s.Indexes[name] = IndexStats{BuildTime: info.BuildTime, SizeBytes: info.SizeBytes, Loaded: info.Loaded}
 	}
 	for _, m := range db.methods {
 		s.Methods[m.String()] = db.stats.perMethod[m].snapshot()
