@@ -240,6 +240,134 @@ func BenchmarkDBConcurrentMixedSwap(b *testing.B) {
 	})
 }
 
+// --- Public API: batch execution and the method × k × density grid ---
+
+// gridDB lazily opens one shared DB over the largest benchmark network
+// (~11.5k vertices) with INE, IER-PHL and G-tree plus one object category
+// per benchmarked density; shared by the grid and batch benchmarks.
+var gridDB = struct {
+	once sync.Once
+	db   *api.DB
+	qs   []int32
+}{}
+
+// gridDensities are the object densities the grid benchmark sweeps; each
+// is registered as category "d<density>".
+var gridDensities = []float64{0.001, 0.01}
+
+func sharedGridDB(b *testing.B) (*api.DB, []int32) {
+	gridDB.once.Do(func() {
+		g := gen.Network(gen.NetworkSpec{Name: "dbgrid", Rows: 96, Cols: 120, Seed: 29})
+		opts := []api.Option{api.WithMethods(api.INE, api.IERPHL, api.Gtree)}
+		for i, d := range gridDensities {
+			opts = append(opts, api.WithObjects(fmt.Sprintf("d%g", d), gen.Uniform(g, d, int64(50+i))))
+		}
+		db, err := api.Open(g, opts...)
+		if err != nil {
+			panic(err)
+		}
+		gridDB.db = db
+		gridDB.qs = gen.QueryVertices(g, 256, 23)
+	})
+	if gridDB.db == nil {
+		b.Fatal("shared grid DB failed to open")
+	}
+	return gridDB.db, gridDB.qs
+}
+
+// BenchmarkDBKNNGrid sweeps method × k × density on one network — the
+// ns/op surface behind the adaptive planner's regime table. CI runs it
+// with -benchtime=1x and folds the output into BENCH_pr.json (see
+// cmd/bench2json), so the per-regime trajectory accumulates across PRs.
+func BenchmarkDBKNNGrid(b *testing.B) {
+	db, qs := sharedGridDB(b)
+	ctx := context.Background()
+	for _, m := range db.Methods() {
+		for _, k := range []int{1, 10, 50} {
+			for _, d := range gridDensities {
+				b.Run(fmt.Sprintf("method=%s/k=%d/density=%g", m, k, d), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						q := qs[i%len(qs)]
+						if _, err := db.KNN(ctx, q, k, api.WithMethod(m), api.WithCategory(fmt.Sprintf("d%g", d))); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// batchQueryCount is the batch-vs-sequential comparison size: one
+// benchmark op answers this many queries either way.
+const batchQueryCount = 64
+
+// BenchmarkDBBatch answers 64 queries per op through db.Batch on the
+// largest benchmark network: sessions are checked out once per worker and
+// the queries fan across the pool. Compare ns/op against
+// BenchmarkDBSequential — batch throughput must be at least the
+// sequential loop's.
+func BenchmarkDBBatch(b *testing.B) {
+	db, qs := sharedGridDB(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := db.Batch()
+		for j := 0; j < batchQueryCount; j++ {
+			batch.AddKNN(qs[(i*batchQueryCount+j)%len(qs)], 10, api.WithMethod(api.Gtree), api.WithCategory("d0.001"))
+		}
+		results, err := batch.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkDBSequential is BenchmarkDBBatch's baseline: the same 64
+// queries as a plain one-at-a-time loop on one goroutine.
+func BenchmarkDBSequential(b *testing.B) {
+	db, qs := sharedGridDB(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batchQueryCount; j++ {
+			q := qs[(i*batchQueryCount+j)%len(qs)]
+			if _, err := db.KNN(ctx, q, 10, api.WithMethod(api.Gtree), api.WithCategory("d0.001")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDBKNNSeqFirstResult measures streaming's reason to exist: time
+// to the first neighbor via KNNSeq against the full buffered KNN answer,
+// on the expansion method where the gap is widest.
+func BenchmarkDBKNNSeqFirstResult(b *testing.B) {
+	db, qs := sharedGridDB(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		got := 0
+		for _, err := range db.KNNSeq(ctx, q, 50, api.WithMethod(api.INE), api.WithCategory("d0.001")) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			got++
+			break
+		}
+		if got != 1 {
+			b.Fatal("no first result")
+		}
+	}
+}
+
 // BenchmarkNetworkGeneration tracks the generator itself so dataset setup
 // cost is visible in benchmark output.
 func BenchmarkNetworkGeneration(b *testing.B) {

@@ -1,0 +1,119 @@
+// Command bench2json converts `go test -bench` output on stdin into a
+// JSON array on stdout, one record per benchmark result. Sub-benchmark
+// path segments of the form key=value are lifted into fields of the
+// record (the DBKNNGrid benchmarks encode method, k, and density that
+// way), so downstream tooling can track ns/op per regime across PRs
+// without re-parsing names.
+//
+//	go test -run '^$' -bench 'BenchmarkDB' -benchtime 1x . | go run ./cmd/bench2json > BENCH_pr.json
+//
+// Record shape:
+//
+//	{"name":"DBKNNGrid/method=INE/k=10/density=0.001","ns_per_op":61234,
+//	 "iterations":1,"procs":8,"params":{"method":"INE","k":"10","density":"0.001"}}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one parsed benchmark line.
+type record struct {
+	// Name is the benchmark name without the "Benchmark" prefix and the
+	// trailing -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name (0 if absent).
+	Procs int `json:"procs,omitempty"`
+	// BytesPerOp / AllocsPerOp mirror -benchmem output when present.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Params holds key=value path segments of sub-benchmarks.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []record
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if out == nil {
+		out = []record{} // emit [] rather than null for empty input
+	}
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkX-8  10  123 ns/op [456 B/op  7 allocs/op]"
+// result line; anything else reports ok=false.
+func parseLine(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	r := record{Name: name}
+	// Split the -GOMAXPROCS suffix off the last path segment.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil {
+			r.Procs = procs
+			r.Name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in (value, unit) pairs: "123 ns/op 45 B/op ...".
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	if !seen {
+		return record{}, false
+	}
+	for _, seg := range strings.Split(r.Name, "/") {
+		if k, v, ok := strings.Cut(seg, "="); ok && k != "" {
+			if r.Params == nil {
+				r.Params = map[string]string{}
+			}
+			r.Params[k] = v
+		}
+	}
+	return r, true
+}

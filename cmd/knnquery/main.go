@@ -1,15 +1,25 @@
-// Command knnquery answers one kNN query on a generated network with a
-// chosen method through the public rnknn API, printing the results and
-// basic timings — a minimal end-to-end exercise of the library.
+// Command knnquery answers kNN queries on a generated network through the
+// public rnknn API, printing results and basic timings — a minimal
+// end-to-end exercise of the library.
+//
+// One query with a chosen method (or "auto" for the adaptive planner):
 //
 //	knnquery -network NW -method IER-PHL -k 10 -density 0.001 -q 123
+//	knnquery -network NW -method auto -k 10 -density 0.001
+//
+// Batch mode reads one query vertex per line (blank lines and #-comments
+// skipped) and runs them all through db.Batch, printing per-query latency:
+//
+//	knnquery -network NW -method auto -k 10 -batch queries.txt
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,10 +32,12 @@ import (
 func main() {
 	var (
 		network = flag.String("network", "NW", "ladder network name")
-		method  = flag.String("method", "Gtree", "method name ("+strings.Join(rnknn.MethodNames(), ", ")+")")
+		method  = flag.String("method", "Gtree", "method name (auto, "+strings.Join(rnknn.MethodNames(), ", ")+")")
 		k       = flag.Int("k", 10, "number of neighbors (> 0)")
 		density = flag.Float64("density", 0.001, "uniform object density in (0,1]")
 		q       = flag.Int("q", -1, "query vertex (default: middle vertex)")
+		batch   = flag.String("batch", "", "file of query vertices (one per line) to run through db.Batch")
+		workers = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
 		timeW   = flag.Bool("traveltime", false, "use travel-time weights")
 	)
 	flag.Parse()
@@ -49,9 +61,15 @@ func main() {
 		g = g.View(graph.TravelTime)
 	}
 
+	// MethodAuto needs a spread of methods to plan across; a fixed method
+	// builds only its own index.
+	methods := []rnknn.Method{m}
+	if m == rnknn.MethodAuto {
+		methods = []rnknn.Method{rnknn.INE, rnknn.IERDijk, rnknn.Gtree}
+	}
 	start := time.Now()
 	db, err := rnknn.Open(g,
-		rnknn.WithMethods(m),
+		rnknn.WithMethods(methods...),
 		rnknn.WithObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, 42)),
 	)
 	if err != nil {
@@ -60,22 +78,37 @@ func main() {
 	}
 	buildTime := time.Since(start)
 
+	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
+	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
+	fmt.Printf("objects: %d (density %g)\n", numObjects, *density)
+	fmt.Printf("method %s built in %s\n", m, buildTime.Round(time.Millisecond))
+
+	if *batch != "" {
+		runBatch(db, m, *batch, *k, *workers)
+		return
+	}
+
 	qv := int32(*q)
 	if qv < 0 || int(qv) >= g.NumVertices() {
 		qv = int32(g.NumVertices() / 2)
 	}
+	if m == rnknn.MethodAuto {
+		plan, err := db.Explain(qv, *k, rnknn.WithMethod(m))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("planner: %s (%s)\n", plan.Method, plan.Reason)
+	}
 	start = time.Now()
-	results, err := db.KNN(context.Background(), qv, *k)
+	results, err := db.KNN(context.Background(), qv, *k, rnknn.WithMethod(m))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "query:", err)
 		os.Exit(1)
 	}
 	queryTime := time.Since(start)
 
-	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
-	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
-	fmt.Printf("objects: %d (density %g)\n", numObjects, *density)
-	fmt.Printf("method %s built in %s; query from vertex %d took %s\n", m, buildTime.Round(time.Millisecond), qv, queryTime)
+	fmt.Printf("query from vertex %d took %s\n", qv, queryTime)
 	for i, r := range results {
 		fmt.Printf("  %2d. vertex %-8d network distance %d\n", i+1, r.Vertex, r.Dist)
 	}
@@ -91,8 +124,80 @@ func main() {
 	}
 }
 
+// runBatch reads query vertices from path and runs them as one db.Batch,
+// printing per-query latency and a throughput summary.
+func runBatch(db *rnknn.DB, m rnknn.Method, path string, k, workers int) {
+	vertices, err := readVertices(path, db.Graph().NumVertices())
+	if err != nil {
+		usageExit("-batch: %v", err)
+	}
+	if len(vertices) == 0 {
+		usageExit("-batch: %s contains no query vertices", path)
+	}
+	b := db.Batch().Workers(workers)
+	for _, v := range vertices {
+		b.AddKNN(v, k, rnknn.WithMethod(m))
+	}
+	start := time.Now()
+	results, err := b.Run(context.Background())
+	wall := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batch:", err)
+		os.Exit(1)
+	}
+	var sum time.Duration
+	failed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			failed++
+			fmt.Printf("  %4d. q=%-8d ERROR %v\n", i+1, r.Query, r.Err)
+			continue
+		}
+		sum += r.Latency
+		fmt.Printf("  %4d. q=%-8d method %-8s latency %-12s nearest %s\n",
+			i+1, r.Query, r.Method, r.Latency, rnknn.FormatResults(r.Results[:min(1, len(r.Results))]))
+	}
+	ok := len(results) - failed
+	fmt.Printf("batch: %d queries (%d failed) in %s wall", len(results), failed, wall.Round(time.Microsecond))
+	if ok > 0 {
+		fmt.Printf("; mean latency %s; %.0f queries/s",
+			(sum / time.Duration(ok)).Round(time.Microsecond),
+			float64(ok)/wall.Seconds())
+	}
+	fmt.Println()
+}
+
+// readVertices parses one query vertex per line; blank lines and lines
+// starting with # are skipped.
+func readVertices(path string, numVertices int) ([]int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []int32
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %q is not a vertex id", path, line, s)
+		}
+		if v < 0 || v >= numVertices {
+			return nil, fmt.Errorf("%s:%d: vertex %d out of range [0,%d)", path, line, v, numVertices)
+		}
+		out = append(out, int32(v))
+	}
+	return out, sc.Err()
+}
+
 // usageExit routes invalid flag values through the shared convention,
 // appending the valid method names.
 func usageExit(format string, args ...any) {
-	cliutil.UsageExit("valid methods: "+strings.Join(rnknn.MethodNames(), ", "), format, args...)
+	cliutil.UsageExit("valid methods: auto, "+strings.Join(rnknn.MethodNames(), ", "), format, args...)
 }

@@ -115,18 +115,25 @@ type ierSession struct{ *ier.IER }
 func (s *ierSession) Rebind(b *Binding) { s.IER.Rebind(b.Objs, b.rt) }
 
 // gtreeSession and roadSession cannot embed their methods (the embedded
-// type name KNN would shadow the KNN method), so they delegate explicitly.
+// type name KNN would shadow the KNN method), so they delegate explicitly
+// (including the incremental-scan hook KNNStream).
 type gtreeSession struct{ m *gtree.KNN }
 
 func (s gtreeSession) Name() string                    { return s.m.Name() }
 func (s gtreeSession) KNN(q int32, k int) []knn.Result { return s.m.KNN(q, k) }
 func (s gtreeSession) Rebind(b *Binding)               { s.m.SetObjects(b.ol) }
+func (s gtreeSession) KNNStream(q int32, k int, yield func(knn.Result) bool) {
+	s.m.KNNStream(q, k, yield)
+}
 
 type roadSession struct{ m *road.KNN }
 
 func (s roadSession) Name() string                    { return s.m.Name() }
 func (s roadSession) KNN(q int32, k int) []knn.Result { return s.m.KNN(q, k) }
 func (s roadSession) Rebind(b *Binding)               { s.m.SetObjects(b.ad) }
+func (s roadSession) KNNStream(q int32, k int, yield func(knn.Result) bool) {
+	s.m.KNNStream(q, k, yield)
+}
 
 type dbennSession struct{ *silc.DBENN }
 
@@ -140,4 +147,12 @@ var (
 	_ knn.RangeMethod   = ineSession{}
 	_ knn.Interruptible = ineSession{}
 	_ knn.Interruptible = (*ierSession)(nil)
+	// The incremental-result hook behind pkg/rnknn's KNNSeq: INE and IER
+	// stream through the promoted KNNStream of their embedded methods,
+	// G-tree and ROAD through explicit delegates; the SILC sessions have no
+	// incremental hook and fall back to knn.StreamKNN's buffered replay.
+	_ knn.Streamer = ineSession{}
+	_ knn.Streamer = (*ierSession)(nil)
+	_ knn.Streamer = gtreeSession{}
+	_ knn.Streamer = roadSession{}
 )

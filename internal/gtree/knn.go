@@ -47,16 +47,41 @@ func isNodeID(id int32) bool    { return id < 0 }
 
 // KNN implements knn.Method.
 func (x *KNN) KNN(qv int32, k int) []knn.Result {
+	out := make([]knn.Result, 0, k)
+	x.KNNStream(qv, k, func(r knn.Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// KNNStream implements knn.Streamer. The Algorithm 3 queue pops vertices
+// in nondecreasing exact network distance, and the Algorithm 4 leaf search
+// settles its pre-border objects in the same global order (every path out
+// of the source leaf crosses a border, so nothing outside can be closer),
+// which makes every appended result final at append time: it is yielded
+// immediately instead of buffered. A false return from yield abandons the
+// remaining search.
+func (x *KNN) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	idx := x.idx
 	pt := idx.PT
 	src := idx.NewSource(qv)
 	q := pqueue.NewQueue(64)
-	out := make([]knn.Result, 0, k)
+	found := 0
+	stopped := false
+	emit := func(r knn.Result) bool {
+		found++
+		if !yield(r) {
+			stopped = true
+			return false
+		}
+		return true
+	}
 
 	leafQ := pt.LeafOf[qv]
 	if x.ol.Count(leafQ) > 0 {
 		if x.ImprovedLeaf {
-			x.leafSearchImproved(src, qv, k, q, &out)
+			x.leafSearchImproved(src, qv, k, q, emit)
 		} else {
 			x.leafSearchOriginal(src, qv, q)
 		}
@@ -84,7 +109,7 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 		}
 	}
 
-	for len(out) < k && (!q.Empty() || tn != root) {
+	for !stopped && found < k && (!q.Empty() || tn != root) {
 		if q.Empty() {
 			updateT()
 		}
@@ -99,7 +124,7 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 			continue
 		}
 		if !isNodeID(it.ID) {
-			out = append(out, knn.Result{Vertex: it.ID, Dist: d})
+			emit(knn.Result{Vertex: it.ID, Dist: d})
 			continue
 		}
 		ni := decodeNode(it.ID)
@@ -112,7 +137,6 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 		}
 	}
 	x.PathCost = src.PathCost
-	return out
 }
 
 // enqueueLeafObjects inserts every object of leaf ni with its exact network
@@ -145,10 +169,11 @@ func (x *KNN) enqueueLeafObjects(src *Source, ni int32, q *pqueue.Queue) {
 
 // leafSearchImproved is Algorithm 4: a Dijkstra inside the source leaf,
 // augmented with the global border clique. Objects settled before any
-// border are immediate results; objects settled afterwards are enqueued
-// into the main queue with their exact distances. The search stops after k
-// settled leaf objects.
-func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, out *[]knn.Result) {
+// border are immediate results (emitted right away); objects settled
+// afterwards are enqueued into the main queue with their exact distances.
+// The search stops after k settled leaf objects, or when emit reports the
+// stream consumer stopped.
+func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, emit func(knn.Result) bool) {
 	if src.local == nil {
 		src.local = newLeafScan(x.idx, qv)
 	}
@@ -174,7 +199,9 @@ func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, 
 			targets++
 			gv := x.idx.PT.Nodes[leaf].Vertices[v]
 			if !borderFound {
-				*out = append(*out, knn.Result{Vertex: gv, Dist: d})
+				if !emit(knn.Result{Vertex: gv, Dist: d}) {
+					return
+				}
 			} else {
 				q.Push(gv, int64(d))
 			}
@@ -216,6 +243,11 @@ func (x *KNN) leafSearchOriginal(src *Source, qv int32, q *pqueue.Queue) {
 		}
 	}
 }
+
+var (
+	_ knn.Method   = (*KNN)(nil)
+	_ knn.Streamer = (*KNN)(nil)
+)
 
 // leafOnlyDistances runs a plain Dijkstra constrained to the leaf subgraph
 // (no border clique), the "type (a)" paths of Appendix A.2.1.

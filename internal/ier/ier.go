@@ -12,7 +12,6 @@ package ier
 
 import (
 	"math"
-	"sort"
 
 	"rnknn/internal/geo"
 	"rnknn/internal/graph"
@@ -89,23 +88,57 @@ func (x *IER) SetInterrupt(check func() bool) { x.interrupt = check }
 // object index, Figure 18).
 func (x *IER) Tree() *rtree.Tree { return x.rt }
 
-// KNN implements knn.Method.
+// KNN implements knn.Method: the stream already emits in nondecreasing
+// network distance order, so the buffered answer is a plain collect.
 func (x *IER) KNN(qv int32, k int) []knn.Result {
+	out := make([]knn.Result, 0, k)
+	x.KNNStream(qv, k, func(r knn.Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// KNNStream implements knn.Streamer and is the one search implementation
+// (KNN collects it): the best-first R-tree scan with each verified
+// candidate yielded as soon as it is provably final. The
+// R-tree emits objects in nondecreasing Euclidean-lower-bound order, so
+// every later object verifies at a network distance of at least the scan's
+// current lower bound lb; a candidate already verified at distance <= lb
+// can therefore never be displaced from the top k and is safe to emit.
+// Candidates are emitted in nondecreasing network distance order via a
+// min-heap of pending (verified, unemitted) results; a candidate evicted
+// from the top-k max-heap is lazily invalidated.
+func (x *IER) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	x.FalseHits = 0
 	x.OracleCalls = 0
 	if k > x.objs.Len() {
 		k = x.objs.Len()
 	}
 	if k == 0 {
-		return nil
+		return
 	}
 	src := x.factory.NewSource(qv)
 	scan := x.rt.NewScan(geo.Point{X: x.g.X[qv], Y: x.g.Y[qv]})
 
-	// cand is a max-heap of the current k candidates keyed by network
-	// distance; cand[0] carries Dk.
 	cand := make([]knn.Result, 0, k)
+	pending := make([]knn.Result, 0, k)
+	var evicted map[int32]bool
 	dk := graph.Inf
+	// emit yields pending candidates with distance <= limit; false means
+	// the consumer stopped the stream.
+	emit := func(limit graph.Dist) bool {
+		for len(pending) > 0 && pending[0].Dist <= limit {
+			r := minPop(&pending)
+			if evicted[r.Vertex] {
+				continue
+			}
+			if !yield(r) {
+				return false
+			}
+		}
+		return true
+	}
 	for {
 		if x.interrupt != nil && x.interrupt() {
 			break
@@ -115,33 +148,87 @@ func (x *IER) KNN(qv int32, k int) []knn.Result {
 			break
 		}
 		lb := graph.Dist(math.Floor(nb.Dist * x.invSpeed))
+		if !emit(lb) {
+			return
+		}
 		if len(cand) == k && lb >= dk {
-			// The next Euclidean NN cannot beat the current kth candidate,
-			// and all later ones are even further: terminate.
 			break
 		}
 		d := src.DistanceTo(nb.ID)
 		x.OracleCalls++
 		if len(cand) < k {
 			candPush(&cand, knn.Result{Vertex: nb.ID, Dist: d})
+			minPush(&pending, knn.Result{Vertex: nb.ID, Dist: d})
 			if len(cand) == k {
 				dk = cand[0].Dist
 			}
 		} else if d < dk {
+			// The popped max (the old dk) was never emitted: emission
+			// requires dist <= lb, and lb < dk while the scan runs.
+			old := cand[0]
 			candReplaceTop(cand, knn.Result{Vertex: nb.ID, Dist: d})
 			dk = cand[0].Dist
+			if evicted == nil {
+				evicted = make(map[int32]bool)
+			}
+			evicted[old.Vertex] = true
+			minPush(&pending, knn.Result{Vertex: nb.ID, Dist: d})
 		} else {
 			x.FalseHits++
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].Dist < cand[j].Dist })
-	return cand
+	// Scan terminated (or was interrupted): every surviving candidate is
+	// final; drain in distance order.
+	emit(graph.Inf)
 }
 
 var (
 	_ knn.Method        = (*IER)(nil)
 	_ knn.Interruptible = (*IER)(nil)
+	_ knn.Streamer      = (*IER)(nil)
 )
+
+// minPush and minPop maintain a min-heap of results keyed by distance (the
+// pending-emission buffer of KNNStream).
+func minPush(h *[]knn.Result, r knn.Result) {
+	*h = append(*h, r)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if a[p].Dist <= a[i].Dist {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func minPop(h *[]knn.Result) knn.Result {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && a[r].Dist < a[l].Dist {
+			c = r
+		}
+		if a[c].Dist >= a[i].Dist {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	return top
+}
 
 func candPush(h *[]knn.Result, r knn.Result) {
 	*h = append(*h, r)

@@ -64,6 +64,20 @@ func (x *INE) SetInterrupt(check func() bool) { x.interrupt = check }
 
 // KNN implements knn.Method.
 func (x *INE) KNN(qv int32, k int) []knn.Result {
+	out := make([]knn.Result, 0, k)
+	x.KNNStream(qv, k, func(r knn.Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// KNNStream implements knn.Streamer. Expansion settles vertices in
+// nondecreasing distance order, so every object is final the moment it is
+// settled — INE is the naturally incremental method: the first neighbor is
+// yielded long before the k-th is found, and a false return from yield
+// abandons the rest of the expansion.
+func (x *INE) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	x.cur++
 	if x.cur == 0 {
 		for i := range x.stamp {
@@ -78,11 +92,11 @@ func (x *INE) KNN(qv int32, k int) []knn.Result {
 	x.q.Reset()
 	x.VisitedVertices = 0
 
-	out := make([]knn.Result, 0, k)
+	found := 0
 	x.dist[qv] = 0
 	x.stamp[qv] = x.cur
 	x.q.Push(qv, 0)
-	for !x.q.Empty() && len(out) < k {
+	for !x.q.Empty() && found < k {
 		it := x.q.Pop()
 		v := it.ID
 		if x.settled.Get(v) {
@@ -95,8 +109,11 @@ func (x *INE) KNN(qv int32, k int) []knn.Result {
 		}
 		d := graph.Dist(it.Key)
 		if x.objs.Contains(v) {
-			out = append(out, knn.Result{Vertex: v, Dist: d})
-			if len(out) == k {
+			found++
+			if !yield(knn.Result{Vertex: v, Dist: d}) {
+				break
+			}
+			if found == k {
 				break
 			}
 		}
@@ -113,7 +130,6 @@ func (x *INE) KNN(qv int32, k int) []knn.Result {
 			}
 		}
 	}
-	return out
 }
 
 // Range returns every object within network distance radius of qv, in
@@ -173,4 +189,5 @@ var (
 	_ knn.Method        = (*INE)(nil)
 	_ knn.RangeMethod   = (*INE)(nil)
 	_ knn.Interruptible = (*INE)(nil)
+	_ knn.Streamer      = (*INE)(nil)
 )

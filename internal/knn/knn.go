@@ -47,6 +47,37 @@ type Interruptible interface {
 	SetInterrupt(check func() bool)
 }
 
+// Streamer is implemented by methods that can report each confirmed
+// neighbor as it is finalized, instead of buffering all k results.
+// Neighbors are yielded in nondecreasing distance order; a false return
+// from yield stops the search immediately (the remaining expansion is
+// skipped). Collecting a full stream into a slice yields exactly KNN's
+// answer.
+//
+// The expansion-based methods (INE, ROAD) yield at settle time; G-tree
+// yields each queue pop confirmed below the active bound; IER yields a
+// verified candidate as soon as the R-tree scan's Euclidean lower bound
+// proves no later object can displace it.
+type Streamer interface {
+	KNNStream(q int32, k int, yield func(Result) bool)
+}
+
+// StreamKNN streams the kNN answer of any method: natively when m
+// implements Streamer, otherwise by running the buffered KNN and replaying
+// its slice (the fallback for methods, like the SILC pair, whose search
+// has no incremental hook).
+func StreamKNN(m Method, q int32, k int, yield func(Result) bool) {
+	if s, ok := m.(Streamer); ok {
+		s.KNNStream(q, k, yield)
+		return
+	}
+	for _, r := range m.KNN(q, k) {
+		if !yield(r) {
+			return
+		}
+	}
+}
+
 // DistanceOracle answers point-to-point network distance queries; IER can
 // be composed with any of these (Section 5).
 type DistanceOracle interface {

@@ -1,0 +1,237 @@
+// Package planner picks a kNN method per query. The paper's central
+// experimental finding is that no single method dominates: INE wins when
+// objects are dense (the expansion finds k objects before it grows large,
+// Section 7.3 / Figure 11), the IER family and G-tree win at low density
+// and large k (Figures 10-11), and the crossovers are governed by k, the
+// object density, and the network size, with IER-PHL the overall winner
+// where its index fits (Table 5). The planner encodes that regime table as
+// a static cost model and refines it online with per-method latency EWMAs,
+// bucketed by (k, density) regime, observed from completed queries.
+//
+// A Planner is safe for concurrent use: observations and choices touch
+// only atomics.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"rnknn/internal/core"
+)
+
+// Features are the query-time signals the cost model is keyed on.
+type Features struct {
+	// K is the number of neighbors requested.
+	K int
+	// NumObjects is the live size of the queried object category.
+	NumObjects int
+	// NumVertices is the road network size.
+	NumVertices int
+}
+
+// Density is the object density |O|/|V| — the paper's primary regime axis
+// (Section 7.3). Clamped away from zero so cost ratios stay finite.
+func (f Features) Density() float64 {
+	if f.NumVertices <= 0 {
+		return 1
+	}
+	d := float64(f.NumObjects) / float64(f.NumVertices)
+	if d < 1e-9 {
+		d = 1e-9
+	}
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// Regime buckets: k by log2 (paper varies k in powers, Figure 10), density
+// by decade (Figure 11's axis). Observations land in one (method, k,
+// density) cell so a latency learned at k=1, D=0.1 never shadows k=640,
+// D=0.0001.
+const (
+	numKBuckets = 9
+	numDBuckets = 6
+)
+
+func kBucket(k int) int {
+	b := 0
+	for k > 1 && b < numKBuckets-1 {
+		k >>= 1
+		b++
+	}
+	return b
+}
+
+func dBucket(d float64) int {
+	// >=0.1 → 0, >=0.01 → 1, ..., >=1e-5 → 4, below → 5.
+	b := 0
+	for th := 0.1; d < th && b < numDBuckets-1; th /= 10 {
+		b++
+	}
+	return b
+}
+
+// numKinds mirrors internal/core's method-kind count.
+var numKinds = len(core.Kinds())
+
+// Planner is the adaptive method planner.
+type Planner struct {
+	// ewma[kind][kb][db] is the smoothed observed latency in nanoseconds
+	// for one (method, regime) cell; zero means no observation yet. The
+	// read-modify-write is intentionally lossy under contention (both
+	// halves are atomic; a lost update only slows EWMA convergence).
+	ewma [][numKBuckets][numDBuckets]atomic.Int64
+}
+
+// New returns a Planner with no observations: choices start from the
+// static regime table.
+func New() *Planner {
+	return &Planner{ewma: make([][numKBuckets][numDBuckets]atomic.Int64, numKinds)}
+}
+
+// ewmaShift is the EWMA smoothing factor 1/2^3: new = old + (sample-old)/8.
+const ewmaShift = 3
+
+// Observe folds one completed query's latency into the (kind, regime)
+// cell. Call it for every completed kNN query, whatever chose the method —
+// fixed-method traffic trains the planner too.
+func (p *Planner) Observe(kind core.MethodKind, f Features, d time.Duration) {
+	if int(kind) < 0 || int(kind) >= numKinds || d < 0 {
+		return
+	}
+	cell := &p.ewma[kind][kBucket(f.K)][dBucket(f.Density())]
+	old := cell.Load()
+	if old == 0 {
+		cell.Store(int64(d))
+		return
+	}
+	cell.Store(old + (int64(d)-old)>>ewmaShift)
+}
+
+// observed returns the cell's EWMA in nanoseconds, or 0 when the regime
+// has no observations for this kind.
+func (p *Planner) observed(kind core.MethodKind, f Features) int64 {
+	if int(kind) < 0 || int(kind) >= numKinds {
+		return 0
+	}
+	return p.ewma[kind][kBucket(f.K)][dBucket(f.Density())].Load()
+}
+
+// Static cost model: expected query nanoseconds per method, seeded from
+// the paper's findings. The constants are coarse priors — what matters is
+// that they reproduce the regime crossovers (INE at high density, IER/
+// G-tree at low density and large k) so the first queries of an unseen
+// regime are sensible; EWMAs take over as traffic arrives.
+const (
+	// settleNanos is the cost of settling one vertex in a Dijkstra-style
+	// expansion (INE's unit, Section 6.2's optimized form).
+	settleNanos = 60
+	// candidateFactor approximates IER's verified candidates per result
+	// (Euclidean ordering is a good but not perfect proxy, Section 3.2).
+	candidateFactor = 2.5
+)
+
+// expansionCost estimates an INE-style expansion: settling ~k/D vertices
+// finds k objects under uniform density, capped at the whole network
+// (Section 7.3 — this is exactly why INE degrades as density falls).
+func expansionCost(f Features) float64 {
+	settled := 1.2 * float64(f.K) / f.Density()
+	if n := float64(f.NumVertices); settled > n {
+		settled = n
+	}
+	return settleNanos * settled
+}
+
+// oracleNanos estimates one point-to-point distance computation for each
+// IER oracle (Section 5's hierarchy: PHL microseconds and nearly flat in
+// |V|; TNR close behind; CH a bidirectional search growing with |V|;
+// MGtree assembly along the partition tree).
+func oracleNanos(kind core.MethodKind, n float64) float64 {
+	logn := math.Log2(math.Max(n, 2))
+	switch kind {
+	case core.IERPHL:
+		return 1500
+	case core.IERTNR:
+		return 2500
+	case core.IERCH:
+		return 600 * logn
+	case core.IERGt:
+		return 350 * logn
+	}
+	return 0
+}
+
+// staticCost is the prior for one (kind, features) pair, in nanoseconds.
+func staticCost(kind core.MethodKind, f Features) float64 {
+	n := float64(f.NumVertices)
+	k := float64(f.K)
+	logn := math.Log2(math.Max(n, 2))
+	switch kind {
+	case core.INE:
+		return expansionCost(f)
+	case core.IERDijk:
+		// One resumable Dijkstra serves every candidate, so the cost is an
+		// expansion out to the k-th object's radius — INE-shaped, plus the
+		// R-tree scan overhead that rarely pays off for Dijkstra (Fig. 4).
+		return 1.3 * expansionCost(f)
+	case core.IERCH, core.IERTNR, core.IERPHL, core.IERGt:
+		return candidateFactor * k * oracleNanos(kind, n)
+	case core.Gtree:
+		// Leaf Dijkstra plus ~k border-matrix assemblies up the partition
+		// tree (Algorithm 3/4); trails IER-PHL across the paper's k range
+		// (Figure 10) but beats every expansion at low density.
+		return 15000 + 250*k*logn
+	case core.ROAD:
+		// Same hierarchy as G-tree but consistently slower in the paper's
+		// runs (Figures 10-11): shortcut descent per settled vertex.
+		return 3 * (15000 + 250*k*logn)
+	case core.DisBrw, core.DisBrwOH:
+		// Quadratic index restricted to small networks; quickly dominated
+		// elsewhere (Figure 19).
+		return 20000 + 5000*k + n*10
+	}
+	return math.Inf(1)
+}
+
+// Choice is one planning decision: the selected method and a short
+// human-readable rationale (surfaced by pkg/rnknn's Explain).
+type Choice struct {
+	Kind core.MethodKind
+	// Cost is the estimated or observed latency the choice was based on.
+	Cost time.Duration
+	// Observed reports whether Cost came from the regime's latency EWMA
+	// (true) or the static paper-seeded model (false).
+	Observed bool
+	// Reason is a one-line rationale for logs and Explain output.
+	Reason string
+}
+
+// Choose picks the cheapest enabled method for the query's regime:
+// observed EWMA latency where this (method, k, density) cell has traffic,
+// the static regime model where it does not. Panics only if enabled is
+// empty (callers always have at least one method).
+func (p *Planner) Choose(enabled []core.MethodKind, f Features) Choice {
+	best := Choice{Kind: enabled[0], Cost: time.Duration(math.MaxInt64)}
+	for _, kind := range enabled {
+		var c Choice
+		if obs := p.observed(kind, f); obs > 0 {
+			c = Choice{Kind: kind, Cost: time.Duration(obs), Observed: true}
+		} else {
+			c = Choice{Kind: kind, Cost: time.Duration(staticCost(kind, f))}
+		}
+		// Strict < keeps the earlier (caller-preferred) method on ties.
+		if c.Cost < best.Cost {
+			best = c
+		}
+	}
+	src := "regime model"
+	if best.Observed {
+		src = "observed EWMA"
+	}
+	best.Reason = fmt.Sprintf("auto: %s estimated at %v by %s (k=%d, density=%.2g, |V|=%d)",
+		best.Kind, best.Cost.Round(time.Microsecond), src, f.K, f.Density(), f.NumVertices)
+	return best
+}

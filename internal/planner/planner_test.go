@@ -1,0 +1,126 @@
+package planner
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rnknn/internal/core"
+)
+
+// TestStaticRegimeTable pins the paper-seeded crossovers: INE at high
+// density, the fast-oracle IER family at low density and large k, with
+// G-tree beating INE at low density when no fast oracle is enabled.
+func TestStaticRegimeTable(t *testing.T) {
+	p := New()
+	const n = 100000
+	cases := []struct {
+		name    string
+		enabled []core.MethodKind
+		f       Features
+		want    core.MethodKind
+	}{
+		{"high density small k -> INE",
+			[]core.MethodKind{core.INE, core.IERPHL, core.Gtree},
+			Features{K: 5, NumObjects: n / 10, NumVertices: n}, core.INE},
+		{"low density large k -> IER-PHL",
+			[]core.MethodKind{core.INE, core.IERPHL, core.Gtree},
+			Features{K: 100, NumObjects: n / 10000, NumVertices: n}, core.IERPHL},
+		{"low density no fast oracle -> Gtree over INE",
+			[]core.MethodKind{core.INE, core.Gtree},
+			Features{K: 10, NumObjects: n / 10000, NumVertices: n}, core.Gtree},
+		{"high density with only IER variants -> cheapest oracle",
+			[]core.MethodKind{core.IERCH, core.IERPHL},
+			Features{K: 10, NumObjects: n / 10, NumVertices: n}, core.IERPHL},
+	}
+	for _, c := range cases {
+		got := p.Choose(c.enabled, c.f)
+		if got.Kind != c.want {
+			t.Errorf("%s: chose %v (%s), want %v", c.name, got.Kind, got.Reason, c.want)
+		}
+		if got.Observed {
+			t.Errorf("%s: fresh planner reported an observed cost", c.name)
+		}
+		if got.Reason == "" {
+			t.Errorf("%s: empty reason", c.name)
+		}
+	}
+}
+
+// TestObservedLatencyOverridesModel feeds latencies that contradict the
+// static model and checks the EWMA wins within its regime bucket — and
+// only there.
+func TestObservedLatencyOverridesModel(t *testing.T) {
+	p := New()
+	enabled := []core.MethodKind{core.INE, core.Gtree}
+	// High-density regime: the static model picks INE.
+	dense := Features{K: 4, NumObjects: 5000, NumVertices: 50000}
+	if got := p.Choose(enabled, dense); got.Kind != core.INE {
+		t.Fatalf("precondition: static choice = %v, want INE", got.Kind)
+	}
+	// Observe INE being pathologically slow and Gtree fast, in this regime.
+	for i := 0; i < 20; i++ {
+		p.Observe(core.INE, dense, 80*time.Millisecond)
+		p.Observe(core.Gtree, dense, 100*time.Microsecond)
+	}
+	got := p.Choose(enabled, dense)
+	if got.Kind != core.Gtree || !got.Observed {
+		t.Fatalf("after observations: chose %v (observed=%v), want Gtree from EWMA", got.Kind, got.Observed)
+	}
+	// A different (k, density) bucket is untouched: static model again.
+	sparse := Features{K: 512, NumObjects: 5, NumVertices: 50000}
+	if got := p.Choose(enabled, sparse); got.Observed {
+		t.Fatalf("sparse regime should be unobserved, got %s", got.Reason)
+	}
+}
+
+// TestEWMAConverges checks the smoothing actually tracks a shifted latency
+// rather than sticking at the first sample.
+func TestEWMAConverges(t *testing.T) {
+	p := New()
+	f := Features{K: 8, NumObjects: 100, NumVertices: 10000}
+	p.Observe(core.Gtree, f, 10*time.Millisecond)
+	for i := 0; i < 200; i++ {
+		p.Observe(core.Gtree, f, 1*time.Millisecond)
+	}
+	got := time.Duration(p.observed(core.Gtree, f))
+	if got > 2*time.Millisecond || got < 500*time.Microsecond {
+		t.Fatalf("EWMA after shift = %v, want ~1ms", got)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	if kBucket(1) != 0 || kBucket(2) != 1 || kBucket(640) >= numKBuckets {
+		t.Fatalf("k buckets: %d %d %d", kBucket(1), kBucket(2), kBucket(640))
+	}
+	if kBucket(1<<20) != numKBuckets-1 {
+		t.Fatalf("huge k must clamp, got %d", kBucket(1<<20))
+	}
+	if dBucket(0.5) != 0 || dBucket(0.01) != 1 || dBucket(1e-9) != numDBuckets-1 {
+		t.Fatalf("density buckets: %d %d %d", dBucket(0.5), dBucket(0.01), dBucket(1e-9))
+	}
+	f := Features{K: 3, NumObjects: 0, NumVertices: 100}
+	if d := f.Density(); d <= 0 {
+		t.Fatalf("empty category density must clamp positive, got %g", d)
+	}
+}
+
+// TestConcurrentObserveChoose is a race-detector exercise: Observe and
+// Choose from many goroutines must be data-race free.
+func TestConcurrentObserveChoose(t *testing.T) {
+	p := New()
+	enabled := []core.MethodKind{core.INE, core.IERPHL, core.Gtree}
+	f := Features{K: 10, NumObjects: 50, NumVertices: 20000}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Observe(enabled[i%len(enabled)], f, time.Duration(i)*time.Microsecond)
+				_ = p.Choose(enabled, f)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -510,6 +510,19 @@ func (x *KNN) SetObjects(ad *AssociationDirectory) { x.ad = ad }
 
 // KNN implements knn.Method.
 func (x *KNN) KNN(qv int32, k int) []knn.Result {
+	out := make([]knn.Result, 0, k)
+	x.KNNStream(qv, k, func(r knn.Result) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// KNNStream implements knn.Streamer: the Rnet-bypassing expansion settles
+// vertices in nondecreasing distance order, so objects are final (and
+// yielded) at settle time; a false return from yield abandons the rest of
+// the expansion.
+func (x *KNN) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	idx := x.idx
 	pt := idx.PT
 	x.settled.Reset()
@@ -522,7 +535,7 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 		}
 		x.cur = 1
 	}
-	out := make([]knn.Result, 0, k)
+	found := 0
 
 	leafQ := pt.LeafOf[qv]
 	for i := range x.qAnc {
@@ -534,7 +547,7 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 	x.dist[qv] = 0
 	x.stamp[qv] = x.cur
 	x.q.Push(qv, 0)
-	for !x.q.Empty() && len(out) < k {
+	for !x.q.Empty() && found < k {
 		it := x.q.Pop()
 		v := it.ID
 		if x.settled.Get(v) {
@@ -543,15 +556,22 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 		x.settled.Set(v)
 		d := graph.Dist(it.Key)
 		if x.ad.IsObject(v) {
-			out = append(out, knn.Result{Vertex: v, Dist: d})
-			if len(out) == k {
+			found++
+			if !yield(knn.Result{Vertex: v, Dist: d}) {
+				break
+			}
+			if found == k {
 				break
 			}
 		}
 		x.relaxShortcuts(v, d, qv, leafQ)
 	}
-	return out
 }
+
+var (
+	_ knn.Method   = (*KNN)(nil)
+	_ knn.Streamer = (*KNN)(nil)
+)
 
 // relaxShortcuts walks v's Route Overlay entries from the highest level
 // down (Algorithm 6's shortcut-tree descent): the first object-less Rnet

@@ -1,0 +1,212 @@
+package rnknn
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnknn/internal/core"
+	"rnknn/internal/knn"
+)
+
+// Batch collects kNN and range queries and executes them together: Run
+// fans the queries across a bounded worker pool, and each worker checks
+// out at most one pooled session per method for its whole share of the
+// batch instead of once per query — the per-query pool round-trip and
+// interrupt setup are amortized away, which is what makes a batch the
+// natural unit of work for a server front end draining a request queue.
+//
+//	results, err := db.Batch().
+//		AddKNN(q1, 10).
+//		AddKNN(q2, 5, rnknn.WithMethod(rnknn.MethodAuto)).
+//		AddRange(q3, 5000, rnknn.WithCategory("fuel")).
+//		Run(ctx)
+//
+// A Batch is built and run from one goroutine (Run itself fans out
+// internally); create one Batch per goroutine rather than sharing. Run may
+// be called again to re-execute the same queries.
+type Batch struct {
+	db      *DB
+	workers int
+	ops     []batchOp
+}
+
+type batchOp struct {
+	isRange bool
+	q       int32
+	k       int
+	radius  Dist
+	qo      queryOpts
+}
+
+// BatchResult is the outcome of one query in a batch, at the same index
+// Add* placed it.
+type BatchResult struct {
+	// Query echoes the query vertex.
+	Query int32
+	// Method is the concrete method that answered (the planner's pick when
+	// the query asked for MethodAuto; INE for range queries). Meaningless
+	// when Err is non-nil.
+	Method Method
+	// Results is the query's answer, in nondecreasing distance order.
+	Results []Result
+	// Err is this query's error — validation errors and cancellation land
+	// here per query, never as a panic, so one bad query cannot sink the
+	// batch.
+	Err error
+	// Latency is this query's execution time (zero when it never ran).
+	Latency time.Duration
+}
+
+// Batch starts an empty batch bound to the DB.
+func (db *DB) Batch() *Batch { return &Batch{db: db} }
+
+// Workers bounds the worker pool; n <= 0 (the default) means GOMAXPROCS.
+// The effective pool is never larger than the number of queries.
+func (b *Batch) Workers(n int) *Batch {
+	b.workers = n
+	return b
+}
+
+// AddKNN appends a kNN query with the same options KNN accepts, returning
+// b for chaining.
+func (b *Batch) AddKNN(q int32, k int, opts ...QueryOption) *Batch {
+	b.ops = append(b.ops, batchOp{q: q, k: k, qo: b.db.applyOpts(opts)})
+	return b
+}
+
+// AddRange appends a range query with the same options Range accepts,
+// returning b for chaining.
+func (b *Batch) AddRange(q int32, radius Dist, opts ...QueryOption) *Batch {
+	b.ops = append(b.ops, batchOp{isRange: true, q: q, radius: radius, qo: b.db.applyOpts(opts)})
+	return b
+}
+
+// Len returns the number of queries added so far.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Run executes every added query and returns one BatchResult per query, in
+// Add* order. Per-query failures (validation, unknown category, ...) land
+// in the corresponding BatchResult.Err and do not affect other queries.
+// The returned error is non-nil only when ctx was cancelled or expired
+// before the batch drained; queries cut short or never started then carry
+// ctx's error individually.
+func (b *Batch) Run(ctx context.Context) ([]BatchResult, error) {
+	out := make([]BatchResult, len(b.ops))
+	if len(b.ops) == 0 {
+		return out, ctx.Err()
+	}
+	workers := b.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(b.ops) {
+		workers = len(b.ops)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.db.batchWorker(ctx, b.ops, out, &next)
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// batchWorker drains queries from the shared cursor. Sessions are checked
+// out from the pools at most once per (worker, method) and returned when
+// the worker's share is drained — the batch amortization this API exists
+// for. After cancellation the worker keeps draining, marking each
+// remaining query with ctx's error, so every result slot is filled.
+func (db *DB) batchWorker(ctx context.Context, ops []batchOp, out []BatchResult, next *atomic.Int64) {
+	var sess [numMethods]core.Session
+	defer func() {
+		for m, s := range sess {
+			if s != nil {
+				db.pools[m].put(s)
+			}
+		}
+	}()
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(ops) {
+			return
+		}
+		out[i] = db.runBatchOp(ctx, &ops[i], &sess)
+	}
+}
+
+// runBatchOp validates and executes one batch query against the worker's
+// cached sessions.
+func (db *DB) runBatchOp(ctx context.Context, op *batchOp, sess *[numMethods]core.Session) BatchResult {
+	res := BatchResult{Query: op.q}
+	fail := func(err error) BatchResult { res.Err = err; return res }
+	if op.isRange {
+		if op.radius < 0 {
+			return fail(fmt.Errorf("%w: radius=%d", ErrBadRadius, op.radius))
+		}
+		if err := db.checkRangeMethod(op.qo); err != nil {
+			return fail(err)
+		}
+	} else {
+		if op.k <= 0 {
+			return fail(fmt.Errorf("%w: k=%d", ErrBadK, op.k))
+		}
+		if err := db.checkKNNMethod(op.qo.method); err != nil {
+			return fail(err)
+		}
+	}
+	b, err := db.checkQuery(ctx, op.q, op.qo)
+	if err != nil {
+		return fail(err)
+	}
+	m := INE
+	if !op.isRange {
+		m = db.resolveMethod(op.qo.method, op.k, b)
+	}
+	res.Method = m
+	s := sess[m]
+	if s == nil {
+		if s, err = db.pools[m].get(b); err != nil {
+			return fail(err)
+		}
+		sess[m] = s
+	} else {
+		// Rebinding an already-held session to this query's category
+		// snapshot is a few pointer swaps — the cheap path Batch exists
+		// to hit.
+		s.Rebind(b)
+	}
+	in, interruptible := s.(knn.Interruptible)
+	if interruptible {
+		in.SetInterrupt(func() bool { return ctx.Err() != nil })
+	}
+	start := time.Now()
+	if op.isRange {
+		res.Results = s.(knn.RangeMethod).Range(op.q, op.radius)
+	} else {
+		res.Results = s.KNN(op.q, op.k)
+	}
+	res.Latency = time.Since(start)
+	if interruptible {
+		in.SetInterrupt(nil)
+	}
+	if err := ctx.Err(); err != nil {
+		// The scan may have been cut short; drop the partial answer, as
+		// KNN and Range do.
+		res.Results = nil
+		return fail(err)
+	}
+	if op.isRange {
+		db.stats.recordRange(res.Latency)
+	} else {
+		db.recordKNN(m, op.k, b, res.Latency)
+	}
+	return res
+}

@@ -96,3 +96,56 @@ func ExampleWithIndexCache() {
 	// cold open loaded from snapshot: false
 	// warm open loaded from snapshot: true
 }
+
+// ExampleDB_KNNSeq streams neighbors as the expansion confirms them: the
+// loop sees the first result before the search finishes, and breaking out
+// abandons the rest of the scan.
+func ExampleDB_KNNSeq() {
+	g := exampleGraph()
+	db, err := rnknn.Open(g,
+		rnknn.WithMethods(rnknn.INE),
+		rnknn.WithObjects(rnknn.DefaultCategory, []int32{2, 3}))
+	if err != nil {
+		panic(err)
+	}
+	for r, err := range db.KNNSeq(context.Background(), 0, 2) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("vertex %d at distance %d\n", r.Vertex, r.Dist)
+	}
+	// Output:
+	// vertex 3 at distance 1000
+	// vertex 2 at distance 2000
+}
+
+// ExampleDB_Batch runs several queries as one unit of work: sessions are
+// checked out once per worker, results come back in Add order, and
+// MethodAuto lets the planner pick the method per query.
+func ExampleDB_Batch() {
+	g := exampleGraph()
+	db, err := rnknn.Open(g,
+		rnknn.WithMethods(rnknn.INE, rnknn.Gtree),
+		rnknn.WithObjects(rnknn.DefaultCategory, []int32{2, 3}))
+	if err != nil {
+		panic(err)
+	}
+	results, err := db.Batch().
+		AddKNN(0, 1).
+		AddKNN(5, 1, rnknn.WithMethod(rnknn.MethodAuto)).
+		AddRange(4, 1000).
+		Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+		fmt.Printf("q=%d: %s\n", r.Query, rnknn.FormatResults(r.Results))
+	}
+	// Output:
+	// q=0: [3:1000]
+	// q=5: [2:1000]
+	// q=4: [3:1000]
+}

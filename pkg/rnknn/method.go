@@ -2,12 +2,21 @@ package rnknn
 
 import (
 	"fmt"
+	"strings"
 
 	"rnknn/internal/core"
 )
 
 // Method identifies a kNN method configuration. The zero value is INE.
 type Method int
+
+// MethodAuto asks the adaptive planner to pick the method per query from
+// the DB's enabled methods, using the paper's regime findings (no single
+// method dominates; crossovers are governed by k, object density, and
+// network size — Section 7, Table 5) refined by observed per-method
+// latency. Usable with WithMethod on KNN, KNNSeq, and batch queries;
+// Explain reports what it resolves to and why.
+const MethodAuto Method = -1
 
 // The methods mirror internal/core's kinds: the paper's five algorithms,
 // with IER composable over each distance oracle (Section 5).
@@ -41,8 +50,13 @@ func (m Method) valid() bool { return m >= 0 && m < numMethods }
 func (m Method) kind() core.MethodKind { return core.MethodKind(m) }
 
 // String returns the method's display name (e.g. "IER-PHL"), the same name
-// ParseMethod accepts.
-func (m Method) String() string { return m.kind().String() }
+// ParseMethod accepts. MethodAuto prints as "Auto".
+func (m Method) String() string {
+	if m == MethodAuto {
+		return "Auto"
+	}
+	return m.kind().String()
+}
 
 // Methods lists every method in display order.
 func Methods() []Method {
@@ -62,13 +76,17 @@ func MethodNames() []string {
 	return out
 }
 
-// ParseMethod resolves a display name ("INE", "IER-PHL", "Gtree", ...) to
-// its Method, reporting ErrUnknownMethod for anything else.
+// ParseMethod resolves a display name ("INE", "IER-PHL", "Gtree", ...,
+// case-insensitively) to its Method, reporting ErrUnknownMethod for
+// anything else. "Auto" (or "auto") resolves to MethodAuto.
 func ParseMethod(name string) (Method, error) {
+	if strings.EqualFold(name, MethodAuto.String()) {
+		return MethodAuto, nil
+	}
 	for _, m := range Methods() {
-		if m.String() == name {
+		if strings.EqualFold(m.String(), name) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("%w: %q (valid: %v)", ErrUnknownMethod, name, MethodNames())
+	return 0, fmt.Errorf("%w: %q (valid: Auto, %v)", ErrUnknownMethod, name, MethodNames())
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rnknn/internal/core"
 	"rnknn/internal/knn"
+	"rnknn/internal/planner"
 )
 
 // sessionPool hands out single-goroutine query sessions of one method kind.
@@ -19,6 +21,12 @@ type sessionPool struct {
 	eng  *core.Engine
 	kind core.MethodKind
 	pool sync.Pool
+	// gets/puts count checkouts and returns; the streaming tests compare
+	// them to prove early-broken KNNSeq iterations release their session.
+	// (Counting manufactures instead would be nondeterministic: the race-
+	// detector build of sync.Pool drops Puts at random.)
+	gets atomic.Uint64
+	puts atomic.Uint64
 }
 
 func newSessionPool(eng *core.Engine, kind core.MethodKind) *sessionPool {
@@ -28,6 +36,7 @@ func newSessionPool(eng *core.Engine, kind core.MethodKind) *sessionPool {
 // get returns a session rebound to b, manufacturing one when the pool is
 // empty.
 func (p *sessionPool) get(b *core.Binding) (core.Session, error) {
+	p.gets.Add(1)
 	if s, ok := p.pool.Get().(core.Session); ok {
 		s.Rebind(b)
 		return s, nil
@@ -35,7 +44,10 @@ func (p *sessionPool) get(b *core.Binding) (core.Session, error) {
 	return p.eng.NewSession(p.kind, b)
 }
 
-func (p *sessionPool) put(s core.Session) { p.pool.Put(s) }
+func (p *sessionPool) put(s core.Session) {
+	p.puts.Add(1)
+	p.pool.Put(s)
+}
 
 // queryOpts collects per-query options.
 type queryOpts struct {
@@ -78,6 +90,70 @@ func (db *DB) checkQuery(ctx context.Context, q int32, qo queryOpts) (*core.Bind
 	return db.snapshot(qo.category)
 }
 
+// checkKNNMethod validates a requested kNN method at the public API
+// boundary: MethodAuto is deferred to the planner, anything else must be a
+// known method (ErrUnknownMethod) the DB was opened with
+// (ErrMethodNotEnabled) — never a silent fallback.
+func (db *DB) checkKNNMethod(m Method) error {
+	if m == MethodAuto {
+		return nil
+	}
+	if !m.valid() {
+		return fmt.Errorf("%w: %d", ErrUnknownMethod, int(m))
+	}
+	if !db.enabled[m] {
+		return fmt.Errorf("%w: %s (enabled: %v)", ErrMethodNotEnabled, m, db.methods)
+	}
+	return nil
+}
+
+// features builds the planner's query-time signals from the live binding.
+func (db *DB) features(k int, b *core.Binding) planner.Features {
+	return planner.Features{K: k, NumObjects: b.Objs.Len(), NumVertices: db.g.NumVertices()}
+}
+
+// resolveMethod turns a validated request into the concrete method that
+// will run: MethodAuto asks the planner to pick among the enabled methods
+// for this (k, density, network) regime.
+func (db *DB) resolveMethod(m Method, k int, b *core.Binding) Method {
+	if m != MethodAuto {
+		return m
+	}
+	return Method(db.plan.Choose(db.bindKinds, db.features(k, b)).Kind)
+}
+
+// Plan describes how a query would execute: the concrete method KNN would
+// run and, for MethodAuto, the planner's rationale.
+type Plan struct {
+	// Method is the concrete method that would answer the query.
+	Method Method
+	// Reason is a one-line human-readable rationale.
+	Reason string
+}
+
+// Explain resolves the method a KNN call with the same arguments would
+// run, without running it. For MethodAuto it reports the planner's choice
+// and cost rationale; for a fixed method it validates the request. The
+// planner adapts to observed latency, so consecutive Explains may differ.
+func (db *DB) Explain(q int32, k int, opts ...QueryOption) (Plan, error) {
+	qo := db.applyOpts(opts)
+	if k <= 0 {
+		return Plan{}, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if err := db.checkKNNMethod(qo.method); err != nil {
+		return Plan{}, err
+	}
+	b, err := db.checkQuery(context.Background(), q, qo)
+	if err != nil {
+		return Plan{}, err
+	}
+	if qo.method != MethodAuto {
+		return Plan{Method: qo.method, Reason: "requested with WithMethod"}, nil
+	}
+	c := db.plan.Choose(db.bindKinds, db.features(k, b))
+	return Plan{Method: Method(c.Kind), Reason: c.Reason}, nil
+}
+
 // KNN returns the k nearest objects of the query's category to vertex q by
 // network distance (fewer if the live object set is smaller than k), in
 // nondecreasing distance order. It is safe for unbounded concurrent
@@ -89,17 +165,15 @@ func (db *DB) KNN(ctx context.Context, q int32, k int, opts ...QueryOption) ([]R
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k=%d", ErrBadK, k)
 	}
-	if !qo.method.valid() {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownMethod, int(qo.method))
-	}
-	if !db.enabled[qo.method] {
-		return nil, fmt.Errorf("%w: %s (enabled: %v)", ErrMethodNotEnabled, qo.method, db.methods)
+	if err := db.checkKNNMethod(qo.method); err != nil {
+		return nil, err
 	}
 	b, err := db.checkQuery(ctx, q, qo)
 	if err != nil {
 		return nil, err
 	}
-	sess, err := db.pools[qo.method].get(b)
+	m := db.resolveMethod(qo.method, k, b)
+	sess, err := db.pools[m].get(b)
 	if err != nil {
 		return nil, err
 	}
@@ -113,29 +187,38 @@ func (db *DB) KNN(ctx context.Context, q int32, k int, opts ...QueryOption) ([]R
 	if interruptible {
 		in.SetInterrupt(nil)
 	}
-	db.pools[qo.method].put(sess)
+	db.pools[m].put(sess)
 	if err := ctx.Err(); err != nil {
 		// The scan may have been cut short; the partial answer is not
 		// returned.
 		return nil, err
 	}
-	db.stats.recordKNN(qo.method, elapsed)
+	db.recordKNN(m, k, b, elapsed)
 	return res, nil
+}
+
+// recordKNN lands a completed kNN query in the per-method counters and
+// feeds the planner's latency EWMA for the query's regime — every query
+// trains MethodAuto, not just the auto-planned ones.
+func (db *DB) recordKNN(m Method, k int, b *core.Binding, elapsed time.Duration) {
+	db.stats.recordKNN(m, elapsed)
+	db.plan.Observe(m.kind(), db.features(k, b), elapsed)
 }
 
 // Range returns every object of the query's category within network
 // distance radius of vertex q, in nondecreasing distance order. Range
 // queries always run incremental network expansion (the one method with a
-// native range form); passing WithMethod with any other method reports
-// ErrRangeMethod. Safe for unbounded concurrent callers, with the same
-// context semantics as KNN.
+// native range form); passing WithMethod with any other concrete method
+// reports ErrRangeMethod (an unknown one, ErrUnknownMethod), while
+// MethodAuto resolves to INE. Safe for unbounded concurrent callers, with
+// the same context semantics as KNN.
 func (db *DB) Range(ctx context.Context, q int32, radius Dist, opts ...QueryOption) ([]Result, error) {
 	qo := db.applyOpts(opts)
 	if radius < 0 {
 		return nil, fmt.Errorf("%w: radius=%d", ErrBadRadius, radius)
 	}
-	if qo.methodSet && qo.method != INE {
-		return nil, fmt.Errorf("%w: got %s", ErrRangeMethod, qo.method)
+	if err := db.checkRangeMethod(qo); err != nil {
+		return nil, err
 	}
 	b, err := db.checkQuery(ctx, q, qo)
 	if err != nil {
@@ -160,13 +243,32 @@ func (db *DB) Range(ctx context.Context, q int32, radius Dist, opts ...QueryOpti
 	return res, nil
 }
 
+// checkRangeMethod validates the method option of a range-style query:
+// range queries run only on INE (the one method with a native range form).
+// MethodAuto is accepted and resolves to INE; an unknown method value is
+// ErrUnknownMethod, a known non-INE method is ErrRangeMethod.
+func (db *DB) checkRangeMethod(qo queryOpts) error {
+	if !qo.methodSet || qo.method == INE || qo.method == MethodAuto {
+		return nil
+	}
+	if !qo.method.valid() {
+		return fmt.Errorf("%w: %d", ErrUnknownMethod, int(qo.method))
+	}
+	return fmt.Errorf("%w: got %s", ErrRangeMethod, qo.method)
+}
+
 // BruteForceKNN answers the query by a plain Dijkstra expansion over the
 // category's live object set — the correctness reference every method is
-// validated against (ignores WithMethod; not recorded in Stats).
+// validated against. A WithMethod option is validated (unknown or
+// disabled methods are typed errors, not silently ignored) but the
+// expansion always runs the reference scan; not recorded in Stats.
 func (db *DB) BruteForceKNN(q int32, k int, opts ...QueryOption) ([]Result, error) {
 	qo := db.applyOpts(opts)
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if err := db.checkKNNMethod(qo.method); err != nil {
+		return nil, err
 	}
 	b, err := db.checkQuery(context.Background(), q, qo)
 	if err != nil {
@@ -181,6 +283,9 @@ func (db *DB) BruteForceRange(q int32, radius Dist, opts ...QueryOption) ([]Resu
 	qo := db.applyOpts(opts)
 	if radius < 0 {
 		return nil, fmt.Errorf("%w: radius=%d", ErrBadRadius, radius)
+	}
+	if err := db.checkRangeMethod(qo); err != nil {
+		return nil, err
 	}
 	b, err := db.checkQuery(context.Background(), q, qo)
 	if err != nil {

@@ -1,0 +1,103 @@
+package rnknn
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"time"
+
+	"rnknn/internal/knn"
+)
+
+// KNNSeq answers the same query as KNN but streams each neighbor as it is
+// confirmed, instead of buffering all k: ranging over the sequence sees
+// the first neighbor as soon as the method finalizes it — for INE and the
+// other expansion methods that is long before the k-th is found. Results
+// arrive in nondecreasing distance order, and a fully consumed stream is
+// exactly KNN's answer.
+//
+//	for r, err := range db.KNNSeq(ctx, q, 10) {
+//		if err != nil { ... }          // validation or ctx error; stream ends
+//		serve(r)
+//		if enough() { break }          // stops the underlying expansion
+//	}
+//
+// The yielded error is non-nil on at most the final pair: invalid input
+// yields one typed-error pair and ends, and if ctx is cancelled mid-stream
+// the expansion stops and the stream ends with (Result{}, ctx.Err()) after
+// whatever was already streamed. Breaking out of the loop early abandons
+// the rest of the search immediately and returns the pooled session; the
+// sequence is single-use but cheap to recreate.
+//
+// INE, the IER family, G-tree and ROAD stream natively (each confirmed
+// neighbor is yielded mid-search); the SILC pair computes its full answer
+// first and replays it. Safe for unbounded concurrent callers; only fully
+// consumed streams are recorded in Stats and planner EWMAs.
+func (db *DB) KNNSeq(ctx context.Context, q int32, k int, opts ...QueryOption) iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		qo := db.applyOpts(opts)
+		if k <= 0 {
+			yield(Result{}, fmt.Errorf("%w: k=%d", ErrBadK, k))
+			return
+		}
+		if err := db.checkKNNMethod(qo.method); err != nil {
+			yield(Result{}, err)
+			return
+		}
+		b, err := db.checkQuery(ctx, q, qo)
+		if err != nil {
+			yield(Result{}, err)
+			return
+		}
+		m := db.resolveMethod(qo.method, k, b)
+		sess, err := db.pools[m].get(b)
+		if err != nil {
+			yield(Result{}, err)
+			return
+		}
+		in, interruptible := sess.(knn.Interruptible)
+		if interruptible {
+			in.SetInterrupt(func() bool { return ctx.Err() != nil })
+		}
+		// The deferred release covers every exit: normal completion, early
+		// consumer break, the error yields below, and panics in the
+		// consumer's loop body unwinding through this frame.
+		defer func() {
+			if interruptible {
+				in.SetInterrupt(nil)
+			}
+			db.pools[m].put(sess)
+		}()
+
+		consumerDone := false
+		// elapsed accumulates only time spent inside the method: the clock
+		// pauses around each yield so consumer loop-body work does not
+		// inflate Stats or poison the planner's latency EWMAs.
+		var elapsed time.Duration
+		segment := time.Now()
+		knn.StreamKNN(sess, q, k, func(r knn.Result) bool {
+			elapsed += time.Since(segment)
+			defer func() { segment = time.Now() }()
+			// The interrupt hook stops the scan between results; checking
+			// again here keeps cancellation ahead of result delivery for
+			// the buffered fallback methods too.
+			if ctx.Err() != nil {
+				return false
+			}
+			if !yield(r, nil) {
+				consumerDone = true
+				return false
+			}
+			return true
+		})
+		elapsed += time.Since(segment)
+		if consumerDone {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			yield(Result{}, err)
+			return
+		}
+		db.recordKNN(m, k, b, elapsed)
+	}
+}

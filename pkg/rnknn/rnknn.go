@@ -24,6 +24,24 @@
 // with errors.Is. DB.Stats exposes per-index build cost and per-method
 // query counters.
 //
+// # Query execution
+//
+// Three execution shapes share the pooled sessions:
+//
+//   - KNN and Range return fully materialized result slices.
+//   - KNNSeq streams each neighbor as it is confirmed (Go range-over-func);
+//     breaking early abandons the rest of the search.
+//   - Batch collects many queries and fans them across a bounded worker
+//     pool, checking sessions out once per worker — the unit of work for
+//     a server front end.
+//
+// WithMethod(MethodAuto) resolves the method per query through an adaptive
+// planner: the paper's regime findings (no single method dominates;
+// crossovers governed by k, object density, and network size — Section 7,
+// Table 5) seeded as a static cost model and refined online by observed
+// per-method latency. Explain reports the planner's decision without
+// running the query.
+//
 // # Index persistence
 //
 // Index construction is the expensive part of Open — G-tree and ROAD are
@@ -58,6 +76,7 @@ import (
 	"rnknn/internal/core"
 	"rnknn/internal/graph"
 	"rnknn/internal/knn"
+	"rnknn/internal/planner"
 )
 
 // Graph is the road network a DB serves: a CSR adjacency with travel
@@ -150,6 +169,9 @@ type DB struct {
 	cats map[string]*category
 
 	stats registry
+	// plan resolves MethodAuto queries and learns from every completed
+	// kNN query's latency (see MethodAuto and Explain).
+	plan *planner.Planner
 }
 
 // Open builds a DB over g. The road-network index of every selected method
@@ -177,6 +199,7 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 	db := &DB{
 		g:    g,
 		cats: map[string]*category{},
+		plan: planner.New(),
 	}
 	for _, m := range cfg.methods {
 		if !m.valid() {
