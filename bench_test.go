@@ -378,3 +378,84 @@ func BenchmarkNetworkGeneration(b *testing.B) {
 		}
 	}
 }
+
+// churnDB lazily opens the object-churn benchmark DB: a ~110k-vertex
+// network (large enough to hold the 100k-object category) with one method
+// per maintainer family — INE (object-set membership), IER-Dijk (dynamic
+// R-tree), G-tree (occurrence list), ROAD (association directory).
+var churnDB = struct {
+	once sync.Once
+	db   *api.DB
+	sets map[int][]int32
+}{}
+
+// churnSizes are the object-set scales BenchmarkObjectChurn compares
+// incremental updates against full re-registration at.
+var churnSizes = []int{1000, 10000, 100000}
+
+func sharedChurnDB(b *testing.B) (*api.DB, map[int][]int32) {
+	churnDB.once.Do(func() {
+		g := gen.Network(gen.NetworkSpec{Name: "churnbench", Rows: 230, Cols: 230, Seed: 29})
+		db, err := api.Open(g, api.WithMethods(api.INE, api.IERDijk, api.Gtree, api.ROAD))
+		if err != nil {
+			panic(err)
+		}
+		churnDB.db = db
+		churnDB.sets = map[int][]int32{}
+		n := g.NumVertices()
+		for _, size := range churnSizes {
+			// Evenly spaced object vertices, skipping vertex 0 (kept free as
+			// the churned spare).
+			verts := make([]int32, size)
+			for i := range verts {
+				verts[i] = int32(1 + i*(n-1)/size)
+			}
+			churnDB.sets[size] = verts
+			if err := db.RegisterObjects(fmt.Sprintf("churn-%d", size), verts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if churnDB.db == nil {
+		b.Fatal("shared churn DB failed to open")
+	}
+	return churnDB.db, churnDB.sets
+}
+
+// BenchmarkObjectChurn measures what one object change costs at 1k/10k/100k
+// objects: mode=incremental alternates a single-vertex InsertObjects /
+// RemoveObjects (the epoch-versioned delta path — copy-on-write clones plus
+// O(delta) maintainer work), mode=reregister pays the pre-epoch cost model,
+// a full RegisterObjects rebuild of every derived object index. The
+// incremental path must stay >= 10x faster than re-registration from 10k
+// objects up; CI folds both modes into BENCH_pr.json so the ratio is
+// tracked per PR.
+func BenchmarkObjectChurn(b *testing.B) {
+	db, sets := sharedChurnDB(b)
+	const spare int32 = 0 // never part of the registered sets
+	for _, size := range churnSizes {
+		cat := fmt.Sprintf("churn-%d", size)
+		b.Run(fmt.Sprintf("mode=incremental/objects=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					err = db.InsertObjects(cat, []int32{spare})
+				} else {
+					err = db.RemoveObjects(cat, []int32{spare})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("mode=reregister/objects=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.RegisterObjects(cat, sets[size]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -29,6 +29,14 @@ func (s *Set) Clear(i int32) {
 	s.words[uint32(i)>>6] &^= 1 << (uint32(i) & 63)
 }
 
+// Clone returns an independent copy of the set. The copy is one memcpy of
+// the word array, which is what makes copy-on-write epoch derivation cheap
+// for the object-membership and Rnet-occupancy bitsets: mutating the clone
+// never touches memory a reader of the original can observe.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
 // Reset clears all bits, retaining capacity.
 func (s *Set) Reset() {
 	for i := range s.words {

@@ -63,3 +63,21 @@ func TestCountMatchesModelProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClone(t *testing.T) {
+	s := New(200)
+	s.Set(3)
+	s.Set(180)
+	c := s.Clone()
+	c.Clear(3)
+	c.Set(99)
+	if !s.Get(3) || s.Get(99) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if c.Get(3) || !c.Get(99) || !c.Get(180) {
+		t.Fatal("clone lost or gained the wrong bits")
+	}
+	if s.Count() != 2 || c.Count() != 2 {
+		t.Fatalf("counts: original %d clone %d", s.Count(), c.Count())
+	}
+}

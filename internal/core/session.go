@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rnknn/internal/geo"
 	"rnknn/internal/gtree"
 	"rnknn/internal/ier"
 	"rnknn/internal/ine"
@@ -16,11 +17,17 @@ import (
 // kinds need (the decoupled-index design of Section 2.2): the Euclidean
 // R-tree for the IER family and DisBrw, the G-tree occurrence list, the
 // ROAD association directory, and the SILC object hierarchy. A Binding is
-// immutable once built and safe for concurrent use by any number of query
-// sessions; swapping object sets means building a new Binding and rebinding
-// sessions to it.
+// one immutable epoch of an object category: safe for concurrent use by any
+// number of query sessions, never mutated after publication. Mutating the
+// object set means deriving the next epoch with NextBinding (incremental,
+// O(delta)) or building a fresh epoch 0 with NewBinding (bulk), then
+// rebinding sessions to it; queries in flight keep the Binding they
+// snapshotted and stay consistent.
 type Binding struct {
 	Objs *knn.ObjectSet
+	// Epoch is the binding's version within its category: 0 for a bulk
+	// build, predecessor+1 for each NextBinding derivation.
+	Epoch uint64
 
 	rt *rtree.Tree
 	ol *gtree.OccurrenceList
@@ -28,9 +35,10 @@ type Binding struct {
 	oh *silc.ObjectHierarchy
 }
 
-// NewBinding builds the derived object indexes required by kinds over objs.
-// Kinds whose road-network index has not been built yet trigger the build
-// (serialized by the engine mutex).
+// NewBinding builds the derived object indexes required by kinds over objs
+// — epoch 0 of a category, the bulk registration path. Kinds whose
+// road-network index has not been built yet trigger the build (serialized
+// by the engine mutex).
 func (e *Engine) NewBinding(objs *knn.ObjectSet, kinds []MethodKind) *Binding {
 	b := &Binding{Objs: objs}
 	for _, k := range kinds {
@@ -52,6 +60,63 @@ func (e *Engine) NewBinding(objs *knn.ObjectSet, kinds []MethodKind) *Binding {
 				b.oh = e.SILCIndex().NewObjectHierarchy(objs, 0)
 			}
 		}
+	}
+	return b
+}
+
+// NextBinding derives the next epoch of cur: cur's object set minus remove
+// plus add, with every derived object index updated incrementally from
+// cur's — copy-on-write clones mutated by the per-method maintainers
+// (R-tree Insert/Delete, occurrence-list and association-directory
+// Add/Remove) in O(delta) element work, never an O(set) reconstruction.
+// The one exception is the SILC object hierarchy (DisBrwOH), which has no
+// incremental maintainer and is rebuilt from the new set.
+//
+// cur is never mutated: queries pinned to it keep answering from their
+// epoch. Vertices already present in add and absent in remove are ignored.
+// When the effective delta is empty, cur itself is returned (no new epoch).
+func (e *Engine) NextBinding(cur *Binding, add, remove []int32) *Binding {
+	objs, added, removed := cur.Objs.WithDelta(add, remove)
+	if len(added) == 0 && len(removed) == 0 {
+		return cur
+	}
+	// Which derived indexes to maintain follows from which ones cur
+	// carries, so the new epoch serves exactly the kinds the old one did.
+	b := &Binding{Objs: objs, Epoch: cur.Epoch + 1}
+	if cur.rt != nil {
+		rt := cur.rt.Clone()
+		for _, v := range removed {
+			rt.Delete(v, geo.Point{X: e.G.X[v], Y: e.G.Y[v]})
+		}
+		for _, v := range added {
+			rt.Insert(v, geo.Point{X: e.G.X[v], Y: e.G.Y[v]})
+		}
+		b.rt = rt
+	}
+	if cur.ol != nil {
+		idx := e.GtreeIndex()
+		ol := cur.ol.Clone()
+		for _, v := range removed {
+			ol.Remove(idx, v)
+		}
+		for _, v := range added {
+			ol.Add(idx, v)
+		}
+		b.ol = ol
+	}
+	if cur.ad != nil {
+		idx := e.ROADIndex()
+		ad := cur.ad.Clone()
+		for _, v := range removed {
+			ad.Remove(idx, v)
+		}
+		for _, v := range added {
+			ad.Add(idx, v)
+		}
+		b.ad = ad
+	}
+	if cur.oh != nil {
+		b.oh = e.SILCIndex().NewObjectHierarchy(objs, 0)
 	}
 	return b
 }

@@ -179,11 +179,6 @@ func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, 
 	}
 	ls := src.local
 	leaf := src.leafQ
-	objs := x.ol.LeafObjects(leaf)
-	isObj := make(map[int32]bool, len(objs))
-	for _, o := range objs {
-		isObj[x.idx.posInLeaf[o]] = true
-	}
 	n := &x.idx.nodes[leaf]
 	borderFound := false
 	targets := 0
@@ -195,9 +190,13 @@ func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, 
 		if !borderFound && borderIndexOf(n, v) >= 0 {
 			borderFound = true
 		}
-		if isObj[v] {
+		// Membership comes from the occurrence list's vertex bitset (shared
+		// with the binding's object set) instead of a hash set allocated per
+		// query — the Section 6.2 container discipline applied to the leaf
+		// search hot path.
+		gv := x.idx.PT.Nodes[leaf].Vertices[v]
+		if x.ol.IsObject(gv) {
 			targets++
-			gv := x.idx.PT.Nodes[leaf].Vertices[v]
 			if !borderFound {
 				if !emit(knn.Result{Vertex: gv, Dist: d}) {
 					return

@@ -1,6 +1,7 @@
 package gtree
 
 import (
+	"rnknn/internal/bitset"
 	"rnknn/internal/knn"
 )
 
@@ -9,6 +10,12 @@ import (
 // object vertices it contains. It is built once per object set and passed
 // to the kNN algorithm, mirroring how the paper separates object index
 // construction from querying (Section 7.4, Appendix A.2).
+//
+// The list is a dynamic maintainer: Add and Remove update it in O(tree
+// height + leaf objects) instead of rebuilding, and Clone derives an
+// independent copy whose mutations never alter the original (Add/Remove
+// replace the per-node object and child slices copy-on-write) — the
+// per-method maintainer contract of the epoch-versioned object store.
 type OccurrenceList struct {
 	// childOcc[n] lists the children of node n containing >= 1 object.
 	childOcc [][]int32
@@ -16,6 +23,9 @@ type OccurrenceList struct {
 	leafObjs [][]int32
 	// count[n] is the number of objects in node n's subgraph.
 	count []int32
+	// member marks object vertices: the O(1) membership test the Algorithm 4
+	// leaf search uses in place of a per-query hash set.
+	member *bitset.Set
 }
 
 // NewOccurrenceList builds the occurrence list for objs over the index.
@@ -24,9 +34,11 @@ func (x *Index) NewOccurrenceList(objs *knn.ObjectSet) *OccurrenceList {
 		childOcc: make([][]int32, len(x.nodes)),
 		leafObjs: make([][]int32, len(x.nodes)),
 		count:    make([]int32, len(x.nodes)),
+		member:   bitset.New(len(x.PT.LeafOf)),
 	}
 	pt := x.PT
 	for _, v := range objs.Vertices() {
+		ol.member.Set(v)
 		leaf := pt.LeafOf[v]
 		ol.leafObjs[leaf] = append(ol.leafObjs[leaf], v)
 		// Propagate counts bottom-up.
@@ -47,6 +59,20 @@ func (x *Index) NewOccurrenceList(objs *knn.ObjectSet) *OccurrenceList {
 	return ol
 }
 
+// Clone returns an independent copy: the fixed-size arrays are memcpys, the
+// per-node slices are shared until an Add or Remove on either copy replaces
+// them. Mutating the clone never changes what a reader of the original
+// observes, which is what lets each object-store epoch derive its list from
+// the previous epoch in O(delta).
+func (ol *OccurrenceList) Clone() *OccurrenceList {
+	return &OccurrenceList{
+		childOcc: append([][]int32(nil), ol.childOcc...),
+		leafObjs: append([][]int32(nil), ol.leafObjs...),
+		count:    append([]int32(nil), ol.count...),
+		member:   ol.member.Clone(),
+	}
+}
+
 // HasObjects reports whether node ni's subgraph contains any object.
 func (ol *OccurrenceList) HasObjects(ni int32) bool { return ol.count[ni] > 0 }
 
@@ -59,24 +85,26 @@ func (ol *OccurrenceList) Children(ni int32) []int32 { return ol.childOcc[ni] }
 // LeafObjects returns the objects in leaf ni.
 func (ol *OccurrenceList) LeafObjects(ni int32) []int32 { return ol.leafObjs[ni] }
 
+// IsObject reports whether v is an object vertex.
+func (ol *OccurrenceList) IsObject(v int32) bool { return ol.member.Get(v) }
+
 // Add registers a new object vertex, updating leaf lists, counts and child
 // occurrences along its ancestor chain. The paper's decoupled-index design
 // makes this cheap compared to re-indexing the road network (Section 2.2);
 // Add is O(tree height + leaf objects).
 func (ol *OccurrenceList) Add(x *Index, v int32) {
+	if ol.member.Get(v) {
+		return // already present
+	}
+	ol.member.Set(v)
 	pt := x.PT
 	leaf := pt.LeafOf[v]
-	for _, o := range ol.leafObjs[leaf] {
-		if o == v {
-			return // already present
-		}
-	}
-	ol.leafObjs[leaf] = append(ol.leafObjs[leaf], v)
+	ol.leafObjs[leaf] = cowAppend(ol.leafObjs[leaf], v)
 	for n := leaf; n != -1; n = pt.Nodes[n].Parent {
 		ol.count[n]++
 		parent := pt.Nodes[n].Parent
 		if parent != -1 && ol.count[n] == 1 {
-			ol.childOcc[parent] = append(ol.childOcc[parent], n)
+			ol.childOcc[parent] = cowAppend(ol.childOcc[parent], n)
 		}
 	}
 }
@@ -84,40 +112,47 @@ func (ol *OccurrenceList) Add(x *Index, v int32) {
 // Remove deletes an object vertex, reversing Add. It reports whether the
 // vertex was present.
 func (ol *OccurrenceList) Remove(x *Index, v int32) bool {
-	pt := x.PT
-	leaf := pt.LeafOf[v]
-	objs := ol.leafObjs[leaf]
-	found := -1
-	for i, o := range objs {
-		if o == v {
-			found = i
-			break
-		}
-	}
-	if found < 0 {
+	if !ol.member.Get(v) {
 		return false
 	}
-	ol.leafObjs[leaf] = append(objs[:found], objs[found+1:]...)
+	ol.member.Clear(v)
+	pt := x.PT
+	leaf := pt.LeafOf[v]
+	ol.leafObjs[leaf] = cowDelete(ol.leafObjs[leaf], v)
 	for n := leaf; n != -1; n = pt.Nodes[n].Parent {
 		ol.count[n]--
 		parent := pt.Nodes[n].Parent
 		if parent != -1 && ol.count[n] == 0 {
-			occ := ol.childOcc[parent]
-			for i, c := range occ {
-				if c == n {
-					ol.childOcc[parent] = append(occ[:i], occ[i+1:]...)
-					break
-				}
-			}
+			ol.childOcc[parent] = cowDelete(ol.childOcc[parent], n)
 		}
 	}
 	return true
 }
 
+// cowAppend and cowDelete replace a per-node slice instead of mutating it
+// in place, so a Clone sharing the slice keeps its view — required for
+// epoch sharing, and cheap because the slices are leaf- or fanout-sized.
+func cowAppend(s []int32, v int32) []int32 {
+	out := make([]int32, len(s)+1)
+	copy(out, s)
+	out[len(s)] = v
+	return out
+}
+
+func cowDelete(s []int32, v int32) []int32 {
+	out := make([]int32, 0, len(s)-1)
+	for _, e := range s {
+		if e != v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // SizeBytes estimates the occurrence list's memory footprint (the object
 // index cost of Figure 18).
 func (ol *OccurrenceList) SizeBytes() int {
-	total := len(ol.count) * 4
+	total := len(ol.count)*4 + ol.member.Capacity()/8
 	for i := range ol.childOcc {
 		total += len(ol.childOcc[i]) * 4
 		total += len(ol.leafObjs[i]) * 4

@@ -42,7 +42,9 @@ type IER struct {
 
 // NewObjectTree builds the Euclidean object R-tree for objs over g — the
 // decoupled object index (Section 2.2) IER scans for candidates. The tree
-// is immutable and may be shared by any number of IER instances.
+// may be shared read-only by any number of IER instances; object churn
+// derives the next epoch's tree with rtree.Clone plus Insert/Delete rather
+// than mutating one a query might be scanning.
 func NewObjectTree(g *graph.Graph, objs *knn.ObjectSet) *rtree.Tree {
 	verts := objs.Vertices()
 	pts := make([]geo.Point, len(verts))

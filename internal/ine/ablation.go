@@ -12,12 +12,14 @@ import (
 type Variant int
 
 const (
-	// FirstCut: per-vertex adjacency objects, decrease-key indexed heap,
-	// hash-set settled container.
+	// FirstCut: per-vertex adjacency objects, decrease-key indexed heap.
 	FirstCut Variant = iota
 	// PQueue: binary heap without decrease-key (duplicates allowed).
 	PQueue
-	// Settled: bit-array settled container instead of a hash set.
+	// Settled: the rung that historically introduced the bit-array settled
+	// container. All rungs now share the main INE path's bit-array (the
+	// Section 6.2 recommendation), so this rung is timing-equivalent to
+	// PQueue; it is kept so Figure 7's ladder labels still resolve.
 	Settled
 	// CSRGraph: single packed edge array (this equals the production INE).
 	CSRGraph
@@ -73,9 +75,7 @@ func NewAblation(g *graph.Graph, objs *knn.ObjectSet, v Variant) *Ablation {
 			a.naive[u].adj = adj
 		}
 	}
-	if v >= Settled {
-		a.settled = bitset.New(g.NumVertices())
-	}
+	a.settled = bitset.New(g.NumVertices())
 	return a
 }
 
@@ -91,16 +91,17 @@ func (a *Ablation) KNN(qv int32, k int) []knn.Result {
 }
 
 // knnDecreaseKey is the first-cut variant: indexed heap with decrease-key
-// and a hash-set settled container.
+// over per-vertex adjacency objects. The settled container is the shared
+// bit-array (see Variant).
 func (a *Ablation) knnDecreaseKey(qv int32, k int) []knn.Result {
 	q := pqueue.NewIndexedQueue(256)
-	settled := make(map[int32]bool)
+	a.settled.Reset()
 	out := make([]knn.Result, 0, k)
 	q.PushOrDecrease(qv, 0)
 	for !q.Empty() && len(out) < k {
 		it := q.Pop()
 		v := it.ID
-		settled[v] = true
+		a.settled.Set(v)
 		d := graph.Dist(it.Key)
 		if a.objs.Contains(v) {
 			out = append(out, knn.Result{Vertex: v, Dist: d})
@@ -109,7 +110,7 @@ func (a *Ablation) knnDecreaseKey(qv int32, k int) []knn.Result {
 			}
 		}
 		for _, e := range a.naive[v].adj {
-			if settled[e.to] {
+			if a.settled.Get(e.to) {
 				continue
 			}
 			q.PushOrDecrease(e.to, int64(d)+int64(e.w))
@@ -119,30 +120,11 @@ func (a *Ablation) knnDecreaseKey(qv int32, k int) []knn.Result {
 }
 
 // knnDuplicates covers the PQueue, Settled and CSRGraph rungs: a duplicate-
-// tolerant heap, with the settled container and graph layout depending on
-// the variant.
+// tolerant heap and the shared bit-array settled container, with the graph
+// layout depending on the variant.
 func (a *Ablation) knnDuplicates(qv int32, k int) []knn.Result {
 	q := pqueue.NewQueue(256)
-	var settledMap map[int32]bool
-	useBits := a.variant >= Settled
-	if useBits {
-		a.settled.Reset()
-	} else {
-		settledMap = make(map[int32]bool)
-	}
-	isSettled := func(v int32) bool {
-		if useBits {
-			return a.settled.Get(v)
-		}
-		return settledMap[v]
-	}
-	setSettled := func(v int32) {
-		if useBits {
-			a.settled.Set(v)
-		} else {
-			settledMap[v] = true
-		}
-	}
+	a.settled.Reset()
 	useCSR := a.variant >= CSRGraph
 
 	out := make([]knn.Result, 0, k)
@@ -150,10 +132,10 @@ func (a *Ablation) knnDuplicates(qv int32, k int) []knn.Result {
 	for !q.Empty() && len(out) < k {
 		it := q.Pop()
 		v := it.ID
-		if isSettled(v) {
+		if a.settled.Get(v) {
 			continue
 		}
-		setSettled(v)
+		a.settled.Set(v)
 		d := graph.Dist(it.Key)
 		if a.objs.Contains(v) {
 			out = append(out, knn.Result{Vertex: v, Dist: d})
@@ -164,14 +146,14 @@ func (a *Ablation) knnDuplicates(qv int32, k int) []knn.Result {
 		if useCSR {
 			ts, ws := a.g.Neighbors(v)
 			for i, t := range ts {
-				if isSettled(t) {
+				if a.settled.Get(t) {
 					continue
 				}
 				q.Push(t, int64(d)+int64(ws[i]))
 			}
 		} else {
 			for _, e := range a.naive[v].adj {
-				if isSettled(e.to) {
+				if a.settled.Get(e.to) {
 					continue
 				}
 				q.Push(e.to, int64(d)+int64(e.w))

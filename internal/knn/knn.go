@@ -120,6 +120,53 @@ func NewObjectSet(g *graph.Graph, vertices []int32) *ObjectSet {
 	return &ObjectSet{verts: verts, member: member}
 }
 
+// WithDelta returns a new ObjectSet equal to o minus removes plus adds,
+// leaving o untouched — the persistent-update form behind epoch-versioned
+// object churn: any reader holding o keeps a consistent view while the next
+// epoch is derived. Removals are applied before insertions. The returned
+// added/removed slices are the effective delta: vertices actually inserted
+// (absent before, deduplicated) and actually deleted (present before) —
+// exactly the per-element work the derived object indexes must replay.
+//
+// Cost is one memcpy of the membership words and one pass over the vertex
+// slice plus O(|delta| log |delta|); no index is rebuilt and nothing the
+// original set references is mutated.
+func (o *ObjectSet) WithDelta(add, remove []int32) (next *ObjectSet, added, removed []int32) {
+	member := o.member.Clone()
+	for _, v := range remove {
+		if member.Get(v) {
+			member.Clear(v)
+			removed = append(removed, v)
+		}
+	}
+	for _, v := range add {
+		if !member.Get(v) {
+			member.Set(v)
+			added = append(added, v)
+		}
+	}
+	// Rebuild the sorted vertex slice: survivors of the old slice merged
+	// with the sorted effective additions.
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	verts := make([]int32, 0, len(o.verts)-len(removed)+len(added))
+	ai := 0
+	for _, v := range o.verts {
+		for ai < len(added) && added[ai] < v {
+			verts = append(verts, added[ai])
+			ai++
+		}
+		if ai < len(added) && added[ai] == v {
+			// v was removed and re-added in this same delta; emit it once.
+			ai++
+		}
+		if member.Get(v) {
+			verts = append(verts, v)
+		}
+	}
+	verts = append(verts, added[ai:]...)
+	return &ObjectSet{verts: verts, member: member}, added, removed
+}
+
 // Contains reports whether v is an object.
 func (o *ObjectSet) Contains(v int32) bool { return o.member.Get(v) }
 

@@ -108,3 +108,62 @@ func TestFormatResults(t *testing.T) {
 		t.Fatal("empty format")
 	}
 }
+
+// TestObjectSetWithDelta checks the persistent-update form: the derived set
+// must equal a from-scratch build, the original must be untouched, and the
+// returned effective deltas must reflect only real changes.
+func TestObjectSetWithDelta(t *testing.T) {
+	g := gen.Network(gen.NetworkSpec{Name: "t", Rows: 8, Cols: 8, Seed: 61})
+	base := knn.NewObjectSet(g, []int32{2, 5, 9, 30})
+
+	next, added, removed := base.WithDelta([]int32{7, 5, 7, 11}, []int32{9, 99})
+	if want := []int32{7, 11}; !int32sEqual(added, want) {
+		t.Fatalf("added = %v, want %v", added, want)
+	}
+	if want := []int32{9}; !int32sEqual(removed, want) {
+		t.Fatalf("removed = %v, want %v", removed, want)
+	}
+	fresh := knn.NewObjectSet(g, []int32{2, 5, 30, 7, 11})
+	if !int32sEqual(next.Vertices(), fresh.Vertices()) {
+		t.Fatalf("next = %v, fresh = %v", next.Vertices(), fresh.Vertices())
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if next.Contains(v) != fresh.Contains(v) {
+			t.Fatalf("membership mismatch at %d", v)
+		}
+	}
+	// The original is untouched.
+	if !int32sEqual(base.Vertices(), []int32{2, 5, 9, 30}) || !base.Contains(9) || base.Contains(7) {
+		t.Fatalf("base mutated: %v", base.Vertices())
+	}
+
+	// Remove-and-re-add in one delta keeps the vertex exactly once.
+	rr, added, removed := base.WithDelta([]int32{5}, []int32{5})
+	if len(added) != 1 || len(removed) != 1 {
+		t.Fatalf("re-add deltas: added %v removed %v", added, removed)
+	}
+	if !int32sEqual(rr.Vertices(), base.Vertices()) {
+		t.Fatalf("re-add changed the set: %v", rr.Vertices())
+	}
+
+	// Empty effective delta.
+	same, added, removed := base.WithDelta([]int32{2}, []int32{50})
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("no-op deltas: added %v removed %v", added, removed)
+	}
+	if !int32sEqual(same.Vertices(), base.Vertices()) {
+		t.Fatal("no-op delta changed the set")
+	}
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

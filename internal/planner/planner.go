@@ -111,6 +111,30 @@ func (p *Planner) Observe(kind core.MethodKind, f Features, d time.Duration) {
 	cell.Store(old + (int64(d)-old)>>ewmaShift)
 }
 
+// NoteDensityShift tells the planner a category's live object count moved
+// from oldF to newF (an object-churn mutation: InsertObjects,
+// RemoveObjects, or a bulk re-registration). Within one density decade the
+// shift cannot change any Choose outcome and this is a no-op. When the
+// shift crosses into a different density bucket — the regime axis the
+// paper's Figure 11 sweeps — the latency EWMAs stored for that bucket were
+// learned whenever traffic last ran at that density, possibly long ago and
+// over a very different object composition, so the planner forgets that
+// density column and falls back to the paper-seeded static model until
+// fresh post-churn traffic retrains it. Reports whether a regime boundary
+// was crossed. Safe for concurrent use.
+func (p *Planner) NoteDensityShift(oldF, newF Features) bool {
+	nb := dBucket(newF.Density())
+	if dBucket(oldF.Density()) == nb {
+		return false
+	}
+	for kind := range p.ewma {
+		for kb := 0; kb < numKBuckets; kb++ {
+			p.ewma[kind][kb][nb].Store(0)
+		}
+	}
+	return true
+}
+
 // observed returns the cell's EWMA in nanoseconds, or 0 when the regime
 // has no observations for this kind.
 func (p *Planner) observed(kind core.MethodKind, f Features) int64 {

@@ -124,3 +124,46 @@ func TestConcurrentObserveChoose(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestNoteDensityShiftReRegimes drives the object-churn hook: a density
+// shift across a decade boundary must forget the crossed-into regime's
+// observations (falling back to the static model), while a within-bucket
+// shift must leave them alone.
+func TestNoteDensityShiftReRegimes(t *testing.T) {
+	p := New()
+	enabled := []core.MethodKind{core.INE, core.Gtree}
+	nv := 100000
+	sparse := Features{K: 10, NumObjects: 100, NumVertices: nv}  // density 1e-3
+	dense := Features{K: 10, NumObjects: 20000, NumVertices: nv} // density 0.2
+
+	// Train the sparse regime with a fake observation that makes INE look
+	// unrealistically fast there (statically Gtree wins at this density).
+	for i := 0; i < 50; i++ {
+		p.Observe(core.INE, sparse, 1*time.Microsecond)
+	}
+	if c := p.Choose(enabled, sparse); c.Kind != core.INE || !c.Observed {
+		t.Fatalf("trained choice = %+v, want observed INE", c)
+	}
+
+	// A within-bucket shift (100 -> 150 objects stays in the 1e-3 decade)
+	// must not invalidate anything.
+	if p.NoteDensityShift(sparse, Features{K: 10, NumObjects: 150, NumVertices: nv}) {
+		t.Fatal("within-bucket shift reported a regime crossing")
+	}
+	if c := p.Choose(enabled, sparse); !c.Observed {
+		t.Fatal("within-bucket shift dropped the regime's observations")
+	}
+
+	// Churn the set dense -> sparse: crossing into the sparse bucket must
+	// forget its stale EWMAs, so the static model (Gtree here) takes over.
+	if !p.NoteDensityShift(dense, sparse) {
+		t.Fatal("decade crossing not reported")
+	}
+	c := p.Choose(enabled, sparse)
+	if c.Observed {
+		t.Fatalf("crossed-into regime still using stale EWMA: %+v", c)
+	}
+	if c.Kind != core.Gtree {
+		t.Fatalf("static model at density 1e-3 chose %v, want Gtree", c.Kind)
+	}
+}

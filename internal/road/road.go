@@ -369,105 +369,98 @@ func (x *Index) SizeBytes() int {
 
 // AssociationDirectory is ROAD's decoupled object index: one bit per Rnet
 // recording whether the Rnet's subgraph contains any object (Section 3.4,
-// Figure 18 measures its size and build time).
+// Figure 18 measures its size and build time), plus the per-Rnet object
+// counts that make removals O(hierarchy depth) and a vertex-membership
+// bitset for the per-settle IsObject test.
+//
+// The directory is a dynamic maintainer (the frequently-changing object
+// sets of Section 2.2, e.g. parking spaces): Add and Remove adjust the
+// counts along one ancestor chain instead of rebuilding, and Clone derives
+// an independent copy in three memcpys so an epoch-versioned object store
+// can carry the next epoch's directory while queries still read the
+// previous one.
 type AssociationDirectory struct {
-	objs *knn.ObjectSet
-	has  *bitset.Set
-	// Dynamic updates (Add/Remove) are tracked as deltas over objs.
-	extra   map[int32]bool
-	removed map[int32]bool
+	member *bitset.Set // object vertices
+	has    *bitset.Set // Rnet occupancy (count > 0), the Algorithm 5 test
+	count  []int32     // objects per Rnet
+	n      int         // live object count
 }
 
 // NewAssociationDirectory builds the directory for objs.
 func (x *Index) NewAssociationDirectory(objs *knn.ObjectSet) *AssociationDirectory {
-	ad := &AssociationDirectory{objs: objs, has: bitset.New(len(x.PT.Nodes))}
+	ad := &AssociationDirectory{
+		member: bitset.New(len(x.PT.LeafOf)),
+		has:    bitset.New(len(x.PT.Nodes)),
+		count:  make([]int32, len(x.PT.Nodes)),
+	}
 	for _, v := range objs.Vertices() {
-		for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
-			if ad.has.Get(n) {
-				break // ancestors already marked
-			}
-			ad.has.Set(n)
-		}
+		ad.addLocked(x, v)
 	}
 	return ad
+}
+
+// addLocked is Add without the membership guard (build-time fast path over
+// a deduplicated ObjectSet).
+func (ad *AssociationDirectory) addLocked(x *Index, v int32) {
+	ad.member.Set(v)
+	ad.n++
+	for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
+		ad.count[n]++
+		ad.has.Set(n)
+	}
+}
+
+// Clone returns an independent copy of the directory; mutating the clone
+// never changes what a reader of the original observes.
+func (ad *AssociationDirectory) Clone() *AssociationDirectory {
+	return &AssociationDirectory{
+		member: ad.member.Clone(),
+		has:    ad.has.Clone(),
+		count:  append([]int32(nil), ad.count...),
+		n:      ad.n,
+	}
 }
 
 // HasObjects reports whether Rnet ni contains any object.
 func (ad *AssociationDirectory) HasObjects(ni int32) bool { return ad.has.Get(ni) }
 
 // IsObject reports whether v is an object vertex.
-func (ad *AssociationDirectory) IsObject(v int32) bool {
-	if ad.removed != nil && ad.removed[v] {
-		return false
-	}
-	if ad.extra != nil && ad.extra[v] {
-		return true
-	}
-	return ad.objs.Contains(v)
-}
+func (ad *AssociationDirectory) IsObject(v int32) bool { return ad.member.Get(v) }
+
+// Len returns the number of object vertices in the directory.
+func (ad *AssociationDirectory) Len() int { return ad.n }
 
 // SizeBytes estimates the directory's footprint including object storage.
 func (ad *AssociationDirectory) SizeBytes() int {
-	return ad.has.Capacity()/8 + ad.objs.Len()*4 + len(ad.extra)*8 + len(ad.removed)*8
+	return ad.member.Capacity()/8 + ad.has.Capacity()/8 + len(ad.count)*4
 }
 
-// Add registers a new object vertex at query time without rebuilding (the
-// frequently-changing object sets of Section 2.2, e.g. parking spaces).
+// Add registers a new object vertex at query time without rebuilding: the
+// counts and occupancy bits along the vertex's ancestor chain are the only
+// state touched.
 func (ad *AssociationDirectory) Add(x *Index, v int32) {
-	if ad.IsObject(v) {
+	if ad.member.Get(v) {
 		return
 	}
-	if ad.extra == nil {
-		ad.extra = map[int32]bool{}
-	}
-	delete(ad.removed, v)
-	ad.extra[v] = true
-	for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
-		if ad.has.Get(n) {
-			break
-		}
-		ad.has.Set(n)
-	}
+	ad.addLocked(x, v)
 }
 
-// Remove deletes an object vertex. Rnet occupancy bits are recomputed only
-// along the vertex's ancestor chain.
+// Remove deletes an object vertex, decrementing the counts along its
+// ancestor chain and clearing the occupancy bit of every Rnet the removal
+// empties. Reports whether the vertex was present.
 func (ad *AssociationDirectory) Remove(x *Index, v int32) bool {
-	if !ad.IsObject(v) {
+	if !ad.member.Get(v) {
 		return false
 	}
-	if ad.extra != nil && ad.extra[v] {
-		delete(ad.extra, v)
-	} else {
-		if ad.removed == nil {
-			ad.removed = map[int32]bool{}
-		}
-		ad.removed[v] = true
-	}
-	// Re-derive occupancy on the chain: an Rnet still has objects if any
-	// current object lies inside it; check cheaply per level using the
-	// object iterator.
+	ad.member.Clear(v)
+	ad.n--
 	for n := x.PT.LeafOf[v]; n != -1; n = x.PT.Nodes[n].Parent {
-		if ad.anyObjectIn(x, n) {
-			break // this and all ancestors remain occupied
+		ad.count[n]--
+		if ad.count[n] == 0 {
+			ad.has.Clear(n)
 		}
-		ad.has.Clear(n)
 	}
 	return true
-}
-
-func (ad *AssociationDirectory) anyObjectIn(x *Index, n int32) bool {
-	for _, v := range ad.objs.Vertices() {
-		if !ad.removed[v] && x.PT.Contains(n, v) {
-			return true
-		}
-	}
-	for v := range ad.extra {
-		if x.PT.Contains(n, v) {
-			return true
-		}
-	}
-	return false
 }
 
 // KNN is the ROAD kNN algorithm (Algorithm 5) bound to an association

@@ -3,6 +3,16 @@
 // incremental Euclidean nearest-neighbor search that drives IER (Section
 // 3.2) and the DB-ENN variant of Distance Browsing (Appendix A.1.1), and it
 // doubles as the object index whose size and build time Figure 18 measures.
+//
+// The tree is dynamic: Insert adds an entry with the classic choose-subtree
+// plus node-split descent, Delete removes one lazily (no re-insertion, no
+// MBR shrinking), and once enough updates have accumulated relative to the
+// live entry count the tree repacks itself with STR — so query quality
+// returns to bulk-loaded form no matter how long the churn ran. Clone
+// derives an independent copy in one memcpy of the node array; every
+// structural mutation copies the bounded per-node slices before writing
+// (copy-on-write), which is what lets an epoch-versioned object store share
+// all untouched nodes between the old and new epoch.
 package rtree
 
 import (
@@ -16,22 +26,40 @@ import (
 // capacity for best Euclidean kNN performance (Section 7.4).
 const DefaultNodeCap = 16
 
-// Tree is an immutable STR-packed R-tree over a set of points, each carrying
-// a user identifier (the road-network vertex of an object).
+// Rebuild trigger: once the updates applied since the last STR pack reach
+// both rebuildMinOps and half the live entry count, the next update repacks
+// the whole tree. Half the set is far beyond any realistic degradation
+// point, but the precise constant matters little: what matters is that the
+// amortized repack cost per update stays O(log n) while quality is bounded.
+const (
+	rebuildMinOps  = 64
+	rebuildDivisor = 2
+)
+
+// Tree is an R-tree over a set of points, each carrying a user identifier
+// (the road-network vertex of an object). New bulk-loads with STR; Insert
+// and Delete update it in place. Readers (scans) and writers must not run
+// concurrently on the same Tree — epoch-sharing callers mutate only fresh
+// Clones.
 type Tree struct {
 	nodeCap int
-	rootIdx int32
+	root    int32 // -1 when the tree is empty
 	nodes   []node
-	// Leaf entries, STR-ordered.
-	ids []int32
-	pts []geo.Point
+	count   int // live entries
+	dirty   int // updates since the last STR pack
+	// rebuilds counts degradation-triggered STR repacks (observability).
+	rebuilds int
 }
 
+// node is one R-tree node. Leaves carry entries (ids/pts), internal nodes
+// carry child node indexes; both slices are bounded by nodeCap+1 and are
+// replaced wholesale on mutation (copy-on-write), never appended in place.
 type node struct {
-	rect geo.Rect
-	// If leaf, [start,end) indexes ids/pts; else [start,end) indexes nodes.
-	start, end int32
-	leaf       bool
+	rect     geo.Rect
+	leaf     bool
+	children []int32
+	ids      []int32
+	pts      []geo.Point
 }
 
 // New bulk-loads an R-tree from parallel id/point slices using STR packing
@@ -43,34 +71,48 @@ func New(ids []int32, pts []geo.Point, nodeCap int) *Tree {
 	if nodeCap <= 1 {
 		nodeCap = DefaultNodeCap
 	}
-	t := &Tree{nodeCap: nodeCap}
-	t.ids = append([]int32(nil), ids...)
-	t.pts = append([]geo.Point(nil), pts...)
-	if len(t.ids) == 0 {
-		return t
-	}
-	strSort(t.ids, t.pts, nodeCap)
+	t := &Tree{nodeCap: nodeCap, root: -1}
+	t.bulkLoad(append([]int32(nil), ids...), append([]geo.Point(nil), pts...))
+	return t
+}
 
-	// Build leaf level.
+// bulkLoad STR-packs the given entries into t, replacing any existing
+// structure. It takes ownership of ids and pts.
+func (t *Tree) bulkLoad(ids []int32, pts []geo.Point) {
+	t.nodes = nil
+	t.root = -1
+	t.count = len(ids)
+	t.dirty = 0
+	if len(ids) == 0 {
+		return
+	}
+	strSort(ids, pts, t.nodeCap)
+
+	// Build leaf level. Sub-slicing with a capacity clamp keeps the packed
+	// backing arrays shared until a mutation copies a node's slice out.
 	var level []int32 // node indexes of the current level
-	for start := 0; start < len(t.ids); start += nodeCap {
-		end := start + nodeCap
-		if end > len(t.ids) {
-			end = len(t.ids)
+	for start := 0; start < len(ids); start += t.nodeCap {
+		end := start + t.nodeCap
+		if end > len(ids) {
+			end = len(ids)
 		}
 		r := geo.EmptyRect()
-		for _, p := range t.pts[start:end] {
+		for _, p := range pts[start:end] {
 			r = r.Expand(p)
 		}
-		t.nodes = append(t.nodes, node{rect: r, start: int32(start), end: int32(end), leaf: true})
+		t.nodes = append(t.nodes, node{
+			rect: r,
+			leaf: true,
+			ids:  ids[start:end:end],
+			pts:  pts[start:end:end],
+		})
 		level = append(level, int32(len(t.nodes)-1))
 	}
-	// Build internal levels until a single root remains. Children of one
-	// parent are contiguous because STR already ordered the leaves.
+	// Build internal levels until a single root remains.
 	for len(level) > 1 {
 		var next []int32
-		for start := 0; start < len(level); start += nodeCap {
-			end := start + nodeCap
+		for start := 0; start < len(level); start += t.nodeCap {
+			end := start + t.nodeCap
 			if end > len(level) {
 				end = len(level)
 			}
@@ -78,24 +120,275 @@ func New(ids []int32, pts []geo.Point, nodeCap int) *Tree {
 			for _, ni := range level[start:end] {
 				r = r.Union(t.nodes[ni].rect)
 			}
-			t.nodes = append(t.nodes, node{rect: r, start: level[start], end: level[end-1] + 1, leaf: false})
+			t.nodes = append(t.nodes, node{
+				rect:     r,
+				children: level[start:end:end],
+			})
 			next = append(next, int32(len(t.nodes)-1))
 		}
 		level = next
 	}
-	t.rootIdx = level[0]
-	return t
+	t.root = level[0]
 }
 
-// Len returns the number of indexed points.
-func (t *Tree) Len() int { return len(t.ids) }
+// Len returns the number of live (non-deleted) entries.
+func (t *Tree) Len() int { return t.count }
+
+// Rebuilds reports how many degradation-triggered STR repacks the tree has
+// performed.
+func (t *Tree) Rebuilds() int { return t.rebuilds }
+
+// Clone returns an independent copy of the tree: one memcpy of the node
+// array, with every per-node entry and child slice shared until a mutation
+// copies it out. Mutating the clone never changes what a reader of the
+// original observes, which is the property the epoch-versioned object store
+// relies on (each epoch's tree is a Clone of the previous epoch's).
+func (t *Tree) Clone() *Tree {
+	c := *t
+	c.nodes = append([]node(nil), t.nodes...)
+	return &c
+}
 
 // SizeBytes estimates the in-memory footprint of the tree.
 func (t *Tree) SizeBytes() int {
-	return len(t.nodes)*int(nodeBytes) + len(t.ids)*4 + len(t.pts)*16
+	total := len(t.nodes) * nodeBytes
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		total += len(n.children)*4 + len(n.ids)*4 + len(n.pts)*16
+	}
+	return total
 }
 
-const nodeBytes = 4*8 + 2*4 + 4 // rect + start/end + leaf padding
+// nodeBytes is the fixed per-node overhead: rect + leaf flag + three slice
+// headers.
+const nodeBytes = 4*8 + 8 + 3*24
+
+// Insert adds one entry. Entry ids need not be unique for the tree itself,
+// but Delete matches by id, so callers (object indexes keyed by vertex)
+// keep them unique. Amortized cost is O(log n) choose-subtree work plus
+// O(nodeCap) copying; occasionally an STR repack runs when accumulated
+// updates degrade the packing (see Rebuilds).
+func (t *Tree) Insert(id int32, pt geo.Point) {
+	if t.root < 0 {
+		t.nodes = append(t.nodes, node{
+			rect: geo.EmptyRect().Expand(pt),
+			leaf: true,
+			ids:  []int32{id},
+			pts:  []geo.Point{pt},
+		})
+		t.root = int32(len(t.nodes) - 1)
+		t.count++
+		return
+	}
+	sib := t.insert(t.root, id, pt)
+	if sib >= 0 {
+		// Root split: a new root adopts the old root and its sibling.
+		r := t.nodes[t.root].rect.Union(t.nodes[sib].rect)
+		t.nodes = append(t.nodes, node{rect: r, children: []int32{t.root, sib}})
+		t.root = int32(len(t.nodes) - 1)
+	}
+	t.count++
+	t.dirty++
+	t.maybeRebuild()
+}
+
+// insert descends to the best leaf, growing rects on the way down, and
+// returns the index of a split-off sibling (-1 if no split propagates).
+func (t *Tree) insert(ni, id int32, pt geo.Point) int32 {
+	t.nodes[ni].rect = t.nodes[ni].rect.Expand(pt)
+	if t.nodes[ni].leaf {
+		n := &t.nodes[ni]
+		n.ids = cowAppend32(n.ids, id)
+		n.pts = cowAppendPt(n.pts, pt)
+		if len(n.ids) > t.nodeCap {
+			return t.splitLeaf(ni)
+		}
+		return -1
+	}
+	ci := chooseChild(t.nodes, t.nodes[ni].children, pt)
+	sib := t.insert(t.nodes[ni].children[ci], id, pt)
+	if sib >= 0 {
+		// Re-take the node after the recursive call: splits append to
+		// t.nodes, which may have moved the backing array.
+		n := &t.nodes[ni]
+		n.children = cowAppend32(n.children, sib)
+		if len(n.children) > t.nodeCap {
+			return t.splitInternal(ni)
+		}
+	}
+	return -1
+}
+
+// chooseChild picks the child whose rect needs the least area enlargement
+// to cover pt, breaking ties by smaller area (Guttman's criterion).
+func chooseChild(nodes []node, children []int32, pt geo.Point) int {
+	best, bestEnl, bestArea := 0, math.Inf(1), math.Inf(1)
+	for i, c := range children {
+		r := nodes[c].rect
+		a := area(r)
+		enl := area(r.Expand(pt)) - a
+		if enl < bestEnl || (enl == bestEnl && a < bestArea) {
+			best, bestEnl, bestArea = i, enl, a
+		}
+	}
+	return best
+}
+
+func area(r geo.Rect) float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// splitLeaf splits an overflowing leaf along its longer axis at the entry
+// median, keeps the lower half in place and returns the new sibling's index.
+func (t *Tree) splitLeaf(ni int32) int32 {
+	n := &t.nodes[ni]
+	ids := append([]int32(nil), n.ids...)
+	pts := append([]geo.Point(nil), n.pts...)
+	byY := n.rect.MaxY-n.rect.MinY > n.rect.MaxX-n.rect.MinX
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if byY {
+			return pts[order[a]].Y < pts[order[b]].Y
+		}
+		return pts[order[a]].X < pts[order[b]].X
+	})
+	mid := len(order) / 2
+	lowIDs, lowPts, lowRect := pickEntries(ids, pts, order[:mid])
+	highIDs, highPts, highRect := pickEntries(ids, pts, order[mid:])
+
+	t.nodes = append(t.nodes, node{rect: highRect, leaf: true, ids: highIDs, pts: highPts})
+	n = &t.nodes[ni] // the append above may have moved the array
+	n.ids, n.pts, n.rect = lowIDs, lowPts, lowRect
+	return int32(len(t.nodes) - 1)
+}
+
+func pickEntries(ids []int32, pts []geo.Point, order []int) ([]int32, []geo.Point, geo.Rect) {
+	outIDs := make([]int32, len(order))
+	outPts := make([]geo.Point, len(order))
+	r := geo.EmptyRect()
+	for i, j := range order {
+		outIDs[i] = ids[j]
+		outPts[i] = pts[j]
+		r = r.Expand(pts[j])
+	}
+	return outIDs, outPts, r
+}
+
+// splitInternal splits an overflowing internal node by child-rect centers
+// along the node's longer axis, mirroring splitLeaf.
+func (t *Tree) splitInternal(ni int32) int32 {
+	n := &t.nodes[ni]
+	children := append([]int32(nil), n.children...)
+	byY := n.rect.MaxY-n.rect.MinY > n.rect.MaxX-n.rect.MinX
+	sort.Slice(children, func(a, b int) bool {
+		ra, rb := t.nodes[children[a]].rect, t.nodes[children[b]].rect
+		if byY {
+			return ra.MinY+ra.MaxY < rb.MinY+rb.MaxY
+		}
+		return ra.MinX+ra.MaxX < rb.MinX+rb.MaxX
+	})
+	mid := len(children) / 2
+	low := children[:mid:mid]
+	high := children[mid:]
+	lowRect, highRect := geo.EmptyRect(), geo.EmptyRect()
+	for _, c := range low {
+		lowRect = lowRect.Union(t.nodes[c].rect)
+	}
+	for _, c := range high {
+		highRect = highRect.Union(t.nodes[c].rect)
+	}
+	t.nodes = append(t.nodes, node{rect: highRect, children: high})
+	n = &t.nodes[ni]
+	n.children, n.rect = low, lowRect
+	return int32(len(t.nodes) - 1)
+}
+
+// Delete removes the entry with the given id, where pt is the point the id
+// was inserted with (deletion descends only subtrees whose rect covers pt).
+// The removal is lazy in the R-tree sense: no re-insertion, no MBR
+// shrinking, underfull nodes stay — degradation is bounded by the periodic
+// STR repack instead. Reports whether the entry was present.
+func (t *Tree) Delete(id int32, pt geo.Point) bool {
+	if t.root < 0 || !t.delete(t.root, id, pt) {
+		return false
+	}
+	t.count--
+	t.dirty++
+	t.maybeRebuild()
+	return true
+}
+
+func (t *Tree) delete(ni, id int32, pt geo.Point) bool {
+	n := &t.nodes[ni]
+	if !n.rect.Contains(pt) {
+		return false
+	}
+	if n.leaf {
+		for i, eid := range n.ids {
+			if eid == id {
+				n.ids = cowRemove32(n.ids, i)
+				n.pts = cowRemovePt(n.pts, i)
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range n.children {
+		if t.delete(c, id, pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeRebuild repacks the tree with STR once accumulated updates pass the
+// degradation threshold, restoring bulk-loaded query quality.
+func (t *Tree) maybeRebuild() {
+	if t.dirty < rebuildMinOps || t.dirty*rebuildDivisor < t.count {
+		return
+	}
+	ids := make([]int32, 0, t.count)
+	pts := make([]geo.Point, 0, t.count)
+	for i := range t.nodes {
+		if t.nodes[i].leaf {
+			ids = append(ids, t.nodes[i].ids...)
+			pts = append(pts, t.nodes[i].pts...)
+		}
+	}
+	t.bulkLoad(ids, pts)
+	t.rebuilds++
+}
+
+// cowAppend32 and friends implement the copy-before-write discipline every
+// node mutation follows: the source slice (possibly shared with a cloned
+// epoch) is never written, a fresh bounded slice replaces it. Nodes hold at
+// most nodeCap+1 entries, so each copy is O(nodeCap).
+func cowAppend32(s []int32, v int32) []int32 {
+	out := make([]int32, len(s)+1)
+	copy(out, s)
+	out[len(s)] = v
+	return out
+}
+
+func cowAppendPt(s []geo.Point, v geo.Point) []geo.Point {
+	out := make([]geo.Point, len(s)+1)
+	copy(out, s)
+	out[len(s)] = v
+	return out
+}
+
+func cowRemove32(s []int32, i int) []int32 {
+	out := make([]int32, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func cowRemovePt(s []geo.Point, i int) []geo.Point {
+	out := make([]geo.Point, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
 
 // strSort orders the points by Sort-Tile-Recursive: sort by x, partition
 // into vertical slabs of sqrt(n/cap) tiles, sort each slab by y.
@@ -138,17 +431,20 @@ type Neighbor struct {
 }
 
 // scanItem is an entry of the scan's priority queue, holding either an
-// R-tree node (node >= 0) or a leaf point entry (node == -1, ent set).
+// R-tree node (node >= 0) or a point entry (node == -1, id/pt set).
 type scanItem struct {
 	key  float64
 	node int32 // -1 for a point entry
-	ent  int32
+	id   int32
+	pt   geo.Point
 }
 
 // Scanner is a suspendable best-first incremental nearest-neighbor search
 // (Hjaltason & Samet). Next returns neighbors in nondecreasing Euclidean
 // distance; the scan retains its priority queue between calls, which is the
-// property IER's candidate loop relies on.
+// property IER's candidate loop relies on. A Scanner reads the Tree it was
+// created from and must not outlive concurrent mutations of that same Tree
+// value; epoch-sharing callers scan a pinned Clone that is never mutated.
 type Scanner struct {
 	t     *Tree
 	from  geo.Point
@@ -158,8 +454,8 @@ type Scanner struct {
 // NewScan starts an incremental Euclidean NN scan from p.
 func (t *Tree) NewScan(p geo.Point) *Scanner {
 	s := &Scanner{t: t, from: p}
-	if len(t.nodes) > 0 {
-		s.push(scanItem{key: t.nodes[t.rootIdx].rect.MinDist(p), node: t.rootIdx, ent: -1})
+	if t.root >= 0 {
+		s.push(scanItem{key: t.nodes[t.root].rect.MinDist(p), node: t.root})
 	}
 	return s
 }
@@ -180,16 +476,16 @@ func (s *Scanner) Next() (Neighbor, bool) {
 	for len(s.items) > 0 {
 		it := s.pop()
 		if it.node < 0 {
-			return Neighbor{ID: t.ids[it.ent], Pt: t.pts[it.ent], Dist: it.key}, true
+			return Neighbor{ID: it.id, Pt: it.pt, Dist: it.key}, true
 		}
-		n := t.nodes[it.node]
+		n := &t.nodes[it.node]
 		if n.leaf {
-			for e := n.start; e < n.end; e++ {
-				s.push(scanItem{key: s.from.Dist(t.pts[e]), node: -1, ent: e})
+			for i, p := range n.pts {
+				s.push(scanItem{key: s.from.Dist(p), node: -1, id: n.ids[i], pt: p})
 			}
 		} else {
-			for c := n.start; c < n.end; c++ {
-				s.push(scanItem{key: t.nodes[c].rect.MinDist(s.from), node: c, ent: -1})
+			for _, c := range n.children {
+				s.push(scanItem{key: t.nodes[c].rect.MinDist(s.from), node: c})
 			}
 		}
 	}

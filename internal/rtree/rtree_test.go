@@ -144,3 +144,162 @@ func TestFirstNeighborNearestProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- dynamic-update tests ---
+
+// TestInsertDeleteMatchesBruteForce churns a tree through random inserts and
+// deletes, checking KNearest against brute force over the live set after
+// every step (including across degradation-triggered STR rebuilds).
+func TestInsertDeleteMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids, pts := randomPoints(200, 8)
+	tr := New(ids[:100], pts[:100], 8)
+	live := map[int32]geo.Point{}
+	for i := 0; i < 100; i++ {
+		live[ids[i]] = pts[i]
+	}
+	next := 100
+	for step := 0; step < 500; step++ {
+		canInsert := next < 200
+		if canInsert && (len(live) == 0 || rng.Intn(2) == 0) {
+			tr.Insert(ids[next], pts[next])
+			live[ids[next]] = pts[next]
+			next++
+		} else if len(live) > 0 {
+			// Delete a random live entry.
+			var victim int32 = -1
+			for id := range live {
+				victim = id
+				break
+			}
+			if !tr.Delete(victim, live[victim]) {
+				t.Fatalf("step %d: Delete(%d) reported absent", step, victim)
+			}
+			delete(live, victim)
+		} else {
+			break // inserts exhausted and tree drained
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len %d != live %d", step, tr.Len(), len(live))
+		}
+		if step%7 != 0 {
+			continue
+		}
+		q := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		k := 1 + rng.Intn(8)
+		got := tr.KNearest(q, k)
+		var ds []float64
+		for _, p := range live {
+			ds = append(ds, q.Dist(p))
+		}
+		sort.Float64s(ds)
+		if k > len(ds) {
+			k = len(ds)
+		}
+		if len(got) != k {
+			t.Fatalf("step %d: got %d results want %d", step, len(got), k)
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-ds[i]) > 1e-9 {
+				t.Fatalf("step %d k=%d i=%d: got %v want %v", step, k, i, got[i].Dist, ds[i])
+			}
+		}
+	}
+}
+
+// TestDeleteAbsent covers the miss paths: unknown id, wrong point, empty
+// tree.
+func TestDeleteAbsent(t *testing.T) {
+	ids, pts := randomPoints(50, 9)
+	tr := New(ids, pts, 4)
+	if tr.Delete(999, geo.Point{X: 1, Y: 1}) {
+		t.Fatal("Delete of unknown id reported true")
+	}
+	if tr.Len() != 50 {
+		t.Fatal("failed Delete changed Len")
+	}
+	empty := New(nil, nil, 0)
+	if empty.Delete(0, geo.Point{}) {
+		t.Fatal("Delete on empty tree reported true")
+	}
+	empty.Insert(7, geo.Point{X: 3, Y: 4})
+	if empty.Len() != 1 || empty.KNearest(geo.Point{X: 3, Y: 4}, 1)[0].ID != 7 {
+		t.Fatal("Insert into empty tree failed")
+	}
+}
+
+// TestInsertGrowsFromEmpty builds a tree purely by Insert and checks it
+// against a bulk-loaded twin.
+func TestInsertGrowsFromEmpty(t *testing.T) {
+	ids, pts := randomPoints(300, 10)
+	tr := New(nil, nil, 8)
+	for i := range ids {
+		tr.Insert(ids[i], pts[i])
+	}
+	bulk := New(ids, pts, 8)
+	q := geo.Point{X: 123, Y: 456}
+	a, b := tr.KNearest(q, 20), bulk.KNearest(q, 20)
+	if len(a) != len(b) {
+		t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+			t.Fatalf("i=%d: insert-built %v bulk %v", i, a[i].Dist, b[i].Dist)
+		}
+	}
+}
+
+// TestCloneIsolation mutates a clone heavily and verifies the original
+// answers exactly as before — the copy-on-write guarantee epochs rely on.
+func TestCloneIsolation(t *testing.T) {
+	ids, pts := randomPoints(400, 11)
+	tr := New(ids, pts, 8)
+	q := geo.Point{X: 500, Y: 500}
+	before := tr.KNearest(q, 400)
+
+	c := tr.Clone()
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		c.Delete(ids[i], pts[i])
+	}
+	for i := 0; i < 300; i++ {
+		c.Insert(int32(1000+i), geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+	if c.Len() != 400-200+300 {
+		t.Fatalf("clone Len %d", c.Len())
+	}
+
+	after := tr.KNearest(q, 400)
+	if len(after) != len(before) || tr.Len() != 400 {
+		t.Fatalf("original changed size: %d results, Len %d", len(after), tr.Len())
+	}
+	for i := range after {
+		if after[i].ID != before[i].ID || after[i].Dist != before[i].Dist {
+			t.Fatalf("original changed at %d: %+v vs %+v", i, after[i], before[i])
+		}
+	}
+}
+
+// TestRebuildTriggers checks that sustained churn eventually repacks the
+// tree and that answers stay exact across the repack.
+func TestRebuildTriggers(t *testing.T) {
+	ids, pts := randomPoints(256, 13)
+	tr := New(ids, pts, 8)
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 2000; i++ {
+		j := rng.Intn(256)
+		tr.Delete(ids[j], pts[j])
+		tr.Insert(ids[j], pts[j])
+	}
+	if tr.Rebuilds() == 0 {
+		t.Fatal("2000 update pairs triggered no STR rebuild")
+	}
+	q := geo.Point{X: 700, Y: 300}
+	got := tr.KNearest(q, 5)
+	want := bruteKNN(pts, q, 5)
+	for i := range got {
+		if math.Abs(got[i].Dist-want[i]) > 1e-9 {
+			t.Fatalf("post-rebuild i=%d: got %v want %v", i, got[i].Dist, want[i])
+		}
+	}
+}

@@ -161,7 +161,8 @@ func NewDBENN(x *Index, objs *knn.ObjectSet) *DBENN {
 }
 
 // NewDBENNWithTree builds the method over a prebuilt object R-tree (shared
-// across query sessions; see Rebind).
+// read-only across query sessions; see Rebind — object churn swaps in a
+// cloned-and-updated tree rather than mutating this one).
 func NewDBENNWithTree(x *Index, objs *knn.ObjectSet, rt *rtree.Tree) *DBENN {
 	return &DBENN{x: x, objs: objs, rt: rt}
 }

@@ -119,6 +119,40 @@ func ExampleDB_KNNSeq() {
 	// vertex 2 at distance 2000
 }
 
+// ExampleDB_InsertObjects churns an object category the incremental way: a
+// taxi goes off shift and another comes on, each change deriving the next
+// epoch from the last in O(delta) instead of rebuilding the object indexes,
+// with the epoch counter recording how many changes the category absorbed.
+func ExampleDB_InsertObjects() {
+	g := exampleGraph()
+	db, err := rnknn.Open(g,
+		rnknn.WithMethods(rnknn.Gtree, rnknn.INE),
+		rnknn.WithObjects("taxis", []int32{2, 3}))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// Taxi at vertex 3 goes off shift; a new one appears at vertex 5.
+	if err := db.RemoveObjects("taxis", []int32{3}); err != nil {
+		panic(err)
+	}
+	if err := db.InsertObjects("taxis", []int32{5}); err != nil {
+		panic(err)
+	}
+
+	nearest, err := db.KNN(ctx, 0, 2, rnknn.WithCategory("taxis"))
+	if err != nil {
+		panic(err)
+	}
+	epoch, _ := db.Epoch("taxis")
+	fmt.Println("nearest:", rnknn.FormatResults(nearest))
+	fmt.Println("epoch:", epoch)
+	// Output:
+	// nearest: [2:2000 5:3000]
+	// epoch: 2
+}
+
 // ExampleDB_Batch runs several queries as one unit of work: sessions are
 // checked out once per worker, results come back in Add order, and
 // MethodAuto lets the planner pick the method per query.

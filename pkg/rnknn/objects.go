@@ -2,30 +2,123 @@ package rnknn
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"rnknn/internal/core"
 	"rnknn/internal/knn"
+	"rnknn/internal/planner"
 )
 
-// category is one named object set; binding holds the live immutable
-// snapshot (object set plus the derived per-method object indexes) and is
-// swapped atomically by RegisterObjects.
+// category is one named object set: a chain of immutable epochs, of which
+// binding holds the live one (the object set plus the derived per-method
+// object indexes). Queries pin an epoch by loading the pointer once; writers
+// serialize on mu, derive the next epoch from the live one, and publish it
+// with a single store.
 type category struct {
+	// mu serializes mutations (RegisterObjects, InsertObjects,
+	// RemoveObjects) so each next epoch derives from the latest one and
+	// epoch numbers advance monotonically. Readers never take it.
+	mu      sync.Mutex
 	binding atomic.Pointer[core.Binding]
 }
 
 // RegisterObjects installs (or atomically replaces) the named object
-// category. Duplicated vertices are dropped. The category's derived object
-// indexes — R-tree, occurrence list, association directory, whichever the
-// enabled methods need — are built here, once per registration, and shared
-// read-only by all query sessions.
+// category — the bulk path: the category's derived object indexes (R-tree,
+// occurrence list, association directory, whichever the enabled methods
+// need) are built from scratch over the full set. For a handful of changes
+// to an existing category, InsertObjects and RemoveObjects update those
+// same indexes incrementally instead. Duplicated vertices are dropped.
 //
-// Replacement is safe while queries are in flight: each query snapshots the
-// category's binding once at its start, so an in-flight query answers
+// Replacement is safe while queries are in flight: each query pins the
+// category's epoch once at its start, so an in-flight query answers
 // consistently over whichever set was live when it began, and queries
 // started after RegisterObjects returns see the new set.
 func (db *DB) RegisterObjects(name string, vertices []int32) error {
+	if err := db.checkObjects(name, vertices); err != nil {
+		return err
+	}
+	objs := knn.NewObjectSet(db.g, vertices)
+	cat := db.category(name)
+	cat.mu.Lock()
+	defer cat.mu.Unlock()
+	// Building the derived indexes happens outside any query's path; only
+	// the final pointer swap synchronizes with readers.
+	b := db.eng.NewBinding(objs, db.bindKinds)
+	if cur := cat.binding.Load(); cur != nil {
+		b.Epoch = cur.Epoch + 1
+		db.noteDensityShift(cur, b)
+	}
+	cat.binding.Store(b)
+	return nil
+}
+
+// InsertObjects adds vertices to the named category without rebuilding its
+// derived object indexes: the next epoch is derived from the live one in
+// O(delta) per enabled method (R-tree insert, occurrence-list and
+// association-directory Add, a copy-on-write membership update for the
+// expansion methods). A category that does not exist yet is created, so
+// InsertObjects into a fresh name is equivalent to RegisterObjects.
+// Vertices already present are ignored.
+//
+// Mutations on one category serialize with each other; queries never block
+// and never observe a half-applied delta — a query either runs entirely on
+// the epoch before this call or entirely on an epoch including it.
+func (db *DB) InsertObjects(name string, vertices []int32) error {
+	if err := db.checkObjects(name, vertices); err != nil {
+		return err
+	}
+	cat := db.category(name)
+	cat.mu.Lock()
+	defer cat.mu.Unlock()
+	cur := cat.binding.Load()
+	if cur == nil {
+		b := db.eng.NewBinding(knn.NewObjectSet(db.g, vertices), db.bindKinds)
+		cat.binding.Store(b)
+		return nil
+	}
+	b := db.eng.NextBinding(cur, vertices, nil)
+	if b != cur {
+		db.noteDensityShift(cur, b)
+		cat.binding.Store(b)
+	}
+	return nil
+}
+
+// RemoveObjects deletes vertices from the named category, deriving the next
+// epoch incrementally exactly like InsertObjects (the R-tree uses a lazy
+// delete with a degradation-triggered repack). Vertices not in the set are
+// ignored; an unknown category is ErrUnknownCategory. Removing every object
+// leaves an empty category: queries on it return no results.
+func (db *DB) RemoveObjects(name string, vertices []int32) error {
+	if err := db.checkObjects(name, vertices); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	cat := db.cats[name]
+	db.mu.RUnlock()
+	if cat == nil {
+		return fmt.Errorf("%w: %q (registered: %v)", ErrUnknownCategory, name, db.Categories())
+	}
+	cat.mu.Lock()
+	defer cat.mu.Unlock()
+	cur := cat.binding.Load()
+	if cur == nil {
+		// The category is mid-creation by a concurrent first mutation that
+		// has not published its first epoch yet; to this caller it does not
+		// exist.
+		return fmt.Errorf("%w: %q (registered: %v)", ErrUnknownCategory, name, db.Categories())
+	}
+	b := db.eng.NextBinding(cur, nil, vertices)
+	if b != cur {
+		db.noteDensityShift(cur, b)
+		cat.binding.Store(b)
+	}
+	return nil
+}
+
+// checkObjects validates the shared mutation inputs.
+func (db *DB) checkObjects(name string, vertices []int32) error {
 	if name == "" {
 		return fmt.Errorf("%w: empty name", ErrBadCategory)
 	}
@@ -35,33 +128,41 @@ func (db *DB) RegisterObjects(name string, vertices []int32) error {
 			return fmt.Errorf("%w: object vertex %d (network has %d vertices)", ErrBadVertex, v, n)
 		}
 	}
-	objs := knn.NewObjectSet(db.g, vertices)
-	// Building the derived indexes happens outside any lock; only the final
-	// pointer swap (and, for a new name, the map insert) synchronizes.
-	b := db.eng.NewBinding(objs, db.bindKinds)
-
-	db.mu.RLock()
-	cat := db.cats[name]
-	db.mu.RUnlock()
-	if cat == nil {
-		// A fresh category must carry its binding before it becomes visible
-		// in the map: a concurrent query that finds the name must never load
-		// a nil binding.
-		fresh := &category{}
-		fresh.binding.Store(b)
-		db.mu.Lock()
-		if cat = db.cats[name]; cat == nil {
-			db.cats[name] = fresh
-			db.mu.Unlock()
-			return nil
-		}
-		db.mu.Unlock()
-	}
-	cat.binding.Store(b)
 	return nil
 }
 
-// snapshot resolves a category name to its live binding.
+// category returns the named category, creating an empty one (no binding
+// yet) if needed. A category only becomes visible to queries once its first
+// binding is stored, but creation must happen under db.mu so two concurrent
+// writers agree on one category (and one mutation lock) per name.
+func (db *DB) category(name string) *category {
+	db.mu.RLock()
+	cat := db.cats[name]
+	db.mu.RUnlock()
+	if cat != nil {
+		return cat
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if cat = db.cats[name]; cat == nil {
+		cat = &category{}
+		db.cats[name] = cat
+	}
+	return cat
+}
+
+// noteDensityShift feeds a mutation's live-density change into the adaptive
+// planner so MethodAuto re-regimes as the set grows or shrinks (the paper's
+// density axis, Figure 11). Called with the category's mutation lock held.
+func (db *DB) noteDensityShift(old, next *core.Binding) {
+	db.plan.NoteDensityShift(
+		planner.Features{NumObjects: old.Objs.Len(), NumVertices: db.g.NumVertices()},
+		planner.Features{NumObjects: next.Objs.Len(), NumVertices: db.g.NumVertices()},
+	)
+}
+
+// snapshot resolves a category name to its live binding (the query-time
+// epoch pin).
 func (db *DB) snapshot(name string) (*core.Binding, error) {
 	db.mu.RLock()
 	cat := db.cats[name]
@@ -69,7 +170,13 @@ func (db *DB) snapshot(name string) (*core.Binding, error) {
 	if cat == nil {
 		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownCategory, name, db.Categories())
 	}
-	return cat.binding.Load(), nil
+	b := cat.binding.Load()
+	if b == nil {
+		// The category is being created by a concurrent first mutation and
+		// has no published epoch yet.
+		return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownCategory, name, db.Categories())
+	}
+	return b, nil
 }
 
 // NumObjects returns the number of objects currently live in the named
@@ -80,4 +187,18 @@ func (db *DB) NumObjects(name string) (int, error) {
 		return 0, err
 	}
 	return b.Objs.Len(), nil
+}
+
+// Epoch returns the named category's live epoch number: 0 after the first
+// registration, incremented by every InsertObjects or RemoveObjects that
+// changed the set and by every RegisterObjects replacing an existing
+// category (a bulk replacement advances the epoch even if the new set is
+// identical). Two queries observing the same epoch observed the same
+// object set.
+func (db *DB) Epoch(name string) (uint64, error) {
+	b, err := db.snapshot(name)
+	if err != nil {
+		return 0, err
+	}
+	return b.Epoch, nil
 }

@@ -6,9 +6,13 @@
 // A DB owns one road network and the road-network indexes of the methods it
 // was opened with, and serves kNN and range queries from any number of
 // goroutines: query sessions (per-method search state) are pooled, and
-// object sets are named categories that can be swapped atomically while
-// queries are in flight — the paper's decoupled index/object design
-// (Section 2.2) as a live API.
+// object sets are named categories that can be bulk-swapped
+// (RegisterObjects) or mutated incrementally (InsertObjects,
+// RemoveObjects) while queries are in flight — the paper's decoupled
+// index/object design (Section 2.2) as a live API. Each mutation derives a
+// new immutable epoch of the category from the live one in O(delta); a
+// query pins one epoch at its start and answers consistently from it no
+// matter how much churn lands mid-query (see Epoch).
 //
 //	g := gen.Network(gen.NetworkSpec{Name: "city", Rows: 96, Cols: 120, Seed: 1})
 //	db, err := rnknn.Open(g, rnknn.WithMethods(rnknn.IERPHL, rnknn.Gtree))
@@ -272,13 +276,17 @@ func (db *DB) Methods() []Method { return append([]Method(nil), db.methods...) }
 // DefaultMethod returns the method KNN uses when WithMethod is not given.
 func (db *DB) DefaultMethod() Method { return db.methods[0] }
 
-// Categories returns the registered object category names, sorted.
+// Categories returns the registered object category names, sorted. A
+// category being created by a concurrent first mutation is listed only once
+// its first epoch is published.
 func (db *DB) Categories() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.cats))
-	for name := range db.cats {
-		out = append(out, name)
+	for name, cat := range db.cats {
+		if cat.binding.Load() != nil {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out

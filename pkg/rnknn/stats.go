@@ -39,6 +39,9 @@ type Stats struct {
 	// Categories maps each registered object category to its live object
 	// count.
 	Categories map[string]int
+	// Epochs maps each registered object category to its live epoch number
+	// (how many set-changing mutations it has absorbed since registration).
+	Epochs map[string]uint64
 }
 
 // counters is one method's lock-free aggregate.
@@ -92,6 +95,7 @@ func (db *DB) Stats() Stats {
 		Indexes:    map[string]IndexStats{},
 		Methods:    map[string]MethodStats{},
 		Categories: map[string]int{},
+		Epochs:     map[string]uint64{},
 	}
 	for name, info := range db.eng.BuiltIndexes() {
 		s.Indexes[name] = IndexStats{BuildTime: info.BuildTime, SizeBytes: info.SizeBytes, Loaded: info.Loaded}
@@ -107,7 +111,10 @@ func (db *DB) Stats() Stats {
 	}
 	db.mu.RLock()
 	for name, cat := range db.cats {
-		s.Categories[name] = cat.binding.Load().Objs.Len()
+		if b := cat.binding.Load(); b != nil {
+			s.Categories[name] = b.Objs.Len()
+			s.Epochs[name] = b.Epoch
+		}
 	}
 	db.mu.RUnlock()
 	return s
