@@ -240,6 +240,66 @@ func BenchmarkDBConcurrentMixedSwap(b *testing.B) {
 	})
 }
 
+// --- Public API: allocation trajectory ---
+
+// allocDB lazily opens the zero-allocation benchmark DB: a small network so
+// every required method — including quadratic-build SILC (DisBrw) — is
+// cheap to construct, with a dense-enough default category that k=10
+// queries always fill.
+var allocDB = struct {
+	once sync.Once
+	db   *api.DB
+	qs   []int32
+}{}
+
+func sharedAllocDB(b *testing.B) (*api.DB, []int32) {
+	allocDB.once.Do(func() {
+		g := gen.Network(gen.NetworkSpec{Name: "dballoc", Rows: 24, Cols: 24, Seed: 19})
+		db, err := api.Open(g,
+			api.WithMethods(api.INE, api.IERPHL, api.IERCH, api.Gtree, api.ROAD, api.DisBrw),
+			api.WithObjects(api.DefaultCategory, gen.Uniform(g, 0.05, 27)))
+		if err != nil {
+			panic(err)
+		}
+		allocDB.db = db
+		allocDB.qs = gen.QueryVertices(g, 128, 31)
+	})
+	if allocDB.db == nil {
+		b.Fatal("shared alloc bench DB failed to open")
+	}
+	return allocDB.db, allocDB.qs
+}
+
+// BenchmarkDBKNNAllocs is the allocation surface of the perf trajectory:
+// warm-session db.KNNAppend into a caller-reused buffer, one sub-benchmark
+// per method. ReportAllocs makes allocs/op land in BENCH_pr.json (the CI
+// bench job runs with -benchmem as well), and the companion regression
+// tests (TestDBKNNAppendZeroAllocs, core's TestWarmSessionKNNZeroAllocs)
+// hard-fail if any of these ever report a steady-state allocation again.
+func BenchmarkDBKNNAllocs(b *testing.B) {
+	db, qs := sharedAllocDB(b)
+	ctx := context.Background()
+	for _, m := range db.Methods() {
+		b.Run("method="+m.String(), func(b *testing.B) {
+			opt := api.WithMethod(m)
+			var buf []api.Result
+			var err error
+			for _, q := range qs[:16] { // warm the pooled session's scratch
+				if buf, err = db.KNNAppend(ctx, q, 10, buf[:0], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if buf, err = db.KNNAppend(ctx, qs[i%len(qs)], 10, buf[:0], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Public API: batch execution and the method × k × density grid ---
 
 // gridDB lazily opens one shared DB over the largest benchmark network

@@ -3,9 +3,13 @@
 // path segments of the form key=value are lifted into fields of the
 // record (the DBKNNGrid benchmarks encode method, k, and density that
 // way), so downstream tooling can track ns/op per regime across PRs
-// without re-parsing names.
+// without re-parsing names. With -benchmem (or b.ReportAllocs, as in
+// BenchmarkDBKNNAllocs) the bytes_per_op and allocs_per_op surfaces are
+// emitted alongside ns_per_op — a reported 0 stays an explicit 0 in the
+// JSON, which is what lets the trajectory pin the zero-allocation hot
+// paths.
 //
-//	go test -run '^$' -bench 'BenchmarkDB' -benchtime 1x . | go run ./cmd/bench2json > BENCH_pr.json
+//	go test -run '^$' -bench 'BenchmarkDB' -benchtime 1x -benchmem . | go run ./cmd/bench2json > BENCH_pr.json
 //
 // Record shape:
 //

@@ -299,15 +299,15 @@ func (e *Engine) NewMethod(kind MethodKind, objs *knn.ObjectSet) (knn.Method, er
 	case INE:
 		return ine.New(e.G, objs), nil
 	case IERDijk:
-		return ier.New("IER-Dijk", e.G, objs, ier.DijkstraFactory{G: e.G}), nil
+		return ier.New("IER-Dijk", e.G, objs, &ier.DijkstraFactory{G: e.G}), nil
 	case IERCH:
-		return ier.New("IER-CH", e.G, objs, ier.OracleFactory{Oracle: e.CHIndex()}), nil
+		return ier.New("IER-CH", e.G, objs, &ier.OracleFactory{Oracle: e.CHIndex()}), nil
 	case IERTNR:
-		return ier.New("IER-TNR", e.G, objs, ier.OracleFactory{Oracle: e.TNRIndex()}), nil
+		return ier.New("IER-TNR", e.G, objs, &ier.OracleFactory{Oracle: e.TNRIndex()}), nil
 	case IERPHL:
-		return ier.New("IER-PHL", e.G, objs, ier.OracleFactory{Oracle: e.PHLIndex()}), nil
+		return ier.New("IER-PHL", e.G, objs, &ier.OracleFactory{Oracle: e.PHLIndex()}), nil
 	case IERGt:
-		return ier.New("IER-Gt", e.G, objs, gtree.Factory{Idx: e.GtreeIndex()}), nil
+		return ier.New("IER-Gt", e.G, objs, &gtree.Factory{Idx: e.GtreeIndex()}), nil
 	case Gtree:
 		idx := e.GtreeIndex()
 		return gtree.NewKNN(idx, idx.NewOccurrenceList(objs)), nil

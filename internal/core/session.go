@@ -143,17 +143,17 @@ func (e *Engine) NewSession(kind MethodKind, b *Binding) (Session, error) {
 	case INE:
 		return ineSession{ine.New(e.G, b.Objs)}, nil
 	case IERDijk:
-		return &ierSession{ier.NewWithTree("IER-Dijk", e.G, b.Objs, b.rt, ier.DijkstraFactory{G: e.G})}, nil
+		return &ierSession{ier.NewWithTree("IER-Dijk", e.G, b.Objs, b.rt, &ier.DijkstraFactory{G: e.G})}, nil
 	case IERCH:
 		// Each session owns a CH searcher: the bidirectional Dijkstra state
 		// is per-session, the hierarchy itself is shared.
-		return &ierSession{ier.NewWithTree("IER-CH", e.G, b.Objs, b.rt, ier.OracleFactory{Oracle: e.CHIndex().NewSearcher()})}, nil
+		return &ierSession{ier.NewWithTree("IER-CH", e.G, b.Objs, b.rt, &ier.OracleFactory{Oracle: e.CHIndex().NewSearcher()})}, nil
 	case IERTNR:
-		return &ierSession{ier.NewWithTree("IER-TNR", e.G, b.Objs, b.rt, ier.OracleFactory{Oracle: e.TNRIndex().NewQuerier()})}, nil
+		return &ierSession{ier.NewWithTree("IER-TNR", e.G, b.Objs, b.rt, &ier.OracleFactory{Oracle: e.TNRIndex().NewQuerier()})}, nil
 	case IERPHL:
-		return &ierSession{ier.NewWithTree("IER-PHL", e.G, b.Objs, b.rt, ier.OracleFactory{Oracle: e.PHLIndex()})}, nil
+		return &ierSession{ier.NewWithTree("IER-PHL", e.G, b.Objs, b.rt, &ier.OracleFactory{Oracle: e.PHLIndex()})}, nil
 	case IERGt:
-		return &ierSession{ier.NewWithTree("IER-Gt", e.G, b.Objs, b.rt, gtree.Factory{Idx: e.GtreeIndex()})}, nil
+		return &ierSession{ier.NewWithTree("IER-Gt", e.G, b.Objs, b.rt, &gtree.Factory{Idx: e.GtreeIndex()})}, nil
 	case Gtree:
 		return gtreeSession{gtree.NewKNN(e.GtreeIndex(), b.ol)}, nil
 	case ROAD:
@@ -186,7 +186,10 @@ type gtreeSession struct{ m *gtree.KNN }
 
 func (s gtreeSession) Name() string                    { return s.m.Name() }
 func (s gtreeSession) KNN(q int32, k int) []knn.Result { return s.m.KNN(q, k) }
-func (s gtreeSession) Rebind(b *Binding)               { s.m.SetObjects(b.ol) }
+func (s gtreeSession) KNNAppend(q int32, k int, dst []knn.Result) []knn.Result {
+	return s.m.KNNAppend(q, k, dst)
+}
+func (s gtreeSession) Rebind(b *Binding) { s.m.SetObjects(b.ol) }
 func (s gtreeSession) KNNStream(q int32, k int, yield func(knn.Result) bool) {
 	s.m.KNNStream(q, k, yield)
 }
@@ -195,7 +198,10 @@ type roadSession struct{ m *road.KNN }
 
 func (s roadSession) Name() string                    { return s.m.Name() }
 func (s roadSession) KNN(q int32, k int) []knn.Result { return s.m.KNN(q, k) }
-func (s roadSession) Rebind(b *Binding)               { s.m.SetObjects(b.ad) }
+func (s roadSession) KNNAppend(q int32, k int, dst []knn.Result) []knn.Result {
+	return s.m.KNNAppend(q, k, dst)
+}
+func (s roadSession) Rebind(b *Binding) { s.m.SetObjects(b.ad) }
 func (s roadSession) KNNStream(q int32, k int, yield func(knn.Result) bool) {
 	s.m.KNNStream(q, k, yield)
 }

@@ -215,6 +215,14 @@ func NewResumable(g *graph.Graph, src int32) *Resumable {
 	return r
 }
 
+// Reset restarts the expansion from a new source, reusing the solver's
+// stamped arrays and heap backing — repeated resumable searches from one
+// session allocate nothing.
+func (r *Resumable) Reset(src int32) {
+	r.done = false
+	r.s.begin(src)
+}
+
 // Next returns the next settled vertex and its distance, or ok=false when
 // the graph is exhausted.
 func (r *Resumable) Next() (v int32, d graph.Dist, ok bool) {

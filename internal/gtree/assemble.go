@@ -11,14 +11,29 @@ import (
 // hierarchy are cached, so repeated queries from the same source — exactly
 // IER's access pattern — reuse earlier assembly work. It also implements
 // the suspendable same-leaf search.
+//
+// A Source is reusable: Reset retargets it to a new source vertex in O(1)
+// by bumping the generation stamp of its border-distance cache, so a query
+// session can keep one Source for its lifetime and never allocate on the
+// query path. The cache is one flat arena indexed by precomputed per-node
+// offsets (node ni's distances live at flat[off[ni]:off[ni+1]]) — the
+// former per-node map of freshly made slices, flattened.
 type Source struct {
 	idx   *Index
 	q     int32
 	leafQ int32
-	// dists[node] caches the distances from q to the node's borders
-	// (global network distances); nil when not yet materialized.
-	dists map[int32][]graph.Dist
-	local *leafScan
+
+	// Stamped border-distance cache: node ni's slice is materialized for
+	// this generation when stamp[ni] == cur.
+	off   []int32
+	flat  []graph.Dist
+	stamp []uint32
+	cur   uint32
+	// idxBuf is scratch for the crossing-step source-side index list.
+	idxBuf []int32
+
+	local      leafScan
+	localReady bool
 
 	// PathCost counts border-to-border additions performed so far (the
 	// "path cost" statistic of Figure 9b).
@@ -27,19 +42,65 @@ type Source struct {
 
 // NewSource starts a materialized oracle from source vertex q.
 func (x *Index) NewSource(q int32) *Source {
-	return &Source{idx: x, q: q, leafQ: x.PT.LeafOf[q], dists: make(map[int32][]graph.Dist)}
+	s := &Source{}
+	s.Reset(x, q)
+	return s
 }
 
-// Factory adapts the index to knn.SourceFactory for IER composition.
+// Reset retargets the source to vertex q over x, invalidating the cached
+// border distances in O(1) via the generation counter. The arena is
+// (re)allocated only when the source is bound to a different index.
+func (s *Source) Reset(x *Index, q int32) {
+	if s.idx != x {
+		s.idx = x
+		n := len(x.nodes)
+		s.off = make([]int32, n+1)
+		for ni := 0; ni < n; ni++ {
+			s.off[ni+1] = s.off[ni] + int32(len(x.nodes[ni].borders))
+		}
+		s.flat = make([]graph.Dist, s.off[n])
+		s.stamp = make([]uint32, n)
+		s.cur = 0
+	}
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.q = q
+	s.leafQ = x.PT.LeafOf[q]
+	s.localReady = false
+	s.PathCost = 0
+}
+
+// leafLocal returns the suspendable same-leaf scan, starting it on first
+// use per source vertex.
+func (s *Source) leafLocal() *leafScan {
+	if !s.localReady {
+		s.local.start(s.idx, s.q)
+		s.localReady = true
+	}
+	return &s.local
+}
+
+// Factory adapts the index to knn.SourceFactory for IER composition,
+// caching one reusable Source per factory (a factory serves one session).
 type Factory struct {
 	Idx *Index
+
+	src Source
 }
 
 // Name implements knn.SourceFactory.
-func (f Factory) Name() string { return "MGtree" }
+func (f *Factory) Name() string { return "MGtree" }
 
 // NewSource implements knn.SourceFactory.
-func (f Factory) NewSource(s int32) knn.SourceOracle { return f.Idx.NewSource(s) }
+func (f *Factory) NewSource(s int32) knn.SourceOracle {
+	f.src.Reset(f.Idx, s)
+	return &f.src
+}
 
 // DistanceTo returns the exact network distance from the source to t.
 func (s *Source) DistanceTo(t int32) graph.Dist {
@@ -49,10 +110,7 @@ func (s *Source) DistanceTo(t int32) graph.Dist {
 	x := s.idx
 	leafT := x.PT.LeafOf[t]
 	if leafT == s.leafQ {
-		if s.local == nil {
-			s.local = newLeafScan(x, s.q)
-		}
-		return s.local.distanceTo(t)
+		return s.leafLocal().distanceTo(t)
 	}
 	db := s.BorderDists(leafT)
 	ln := &x.nodes[leafT]
@@ -72,20 +130,21 @@ func (s *Source) DistanceTo(t int32) graph.Dist {
 }
 
 // BorderDists returns the materialized global distances from the source to
-// the borders of tree node ni, computing (and caching) them on demand.
+// the borders of tree node ni, computing (and caching) them on demand. The
+// returned slice aliases the source's arena and is valid until the next
+// Reset.
 func (s *Source) BorderDists(ni int32) []graph.Dist {
-	if d, ok := s.dists[ni]; ok {
-		return d
+	out := s.flat[s.off[ni]:s.off[ni+1]]
+	if s.stamp[ni] == s.cur {
+		return out
 	}
 	x := s.idx
 	pt := x.PT
-	var out []graph.Dist
 	switch {
 	case ni == s.leafQ:
 		// Base case: the refined leaf matrix columns at q are global.
 		ln := &x.nodes[ni]
 		pos := x.posInLeaf[s.q]
-		out = make([]graph.Dist, len(ln.borders))
 		for bi := range ln.borders {
 			out[bi] = dist64(x.matAt(ni, int32(bi), pos))
 		}
@@ -96,7 +155,6 @@ func (s *Source) BorderDists(ni int32) []graph.Dist {
 		cd := s.BorderDists(child)
 		n := &x.nodes[ni]
 		base := n.childOff[childIndex(pt, ni, child)]
-		out = make([]graph.Dist, len(n.borders))
 		for j := range out {
 			out[j] = graph.Inf
 		}
@@ -142,7 +200,6 @@ func (s *Source) BorderDists(ni int32) []graph.Dist {
 		pn := &x.nodes[parent]
 		myBase := pn.childOff[childIndex(pt, parent, ni)]
 		nb := len(x.nodes[ni].borders)
-		out = make([]graph.Dist, nb)
 		var fromD []graph.Dist
 		var fromIdx []int32
 		if pt.Contains(parent, s.q) {
@@ -150,10 +207,11 @@ func (s *Source) BorderDists(ni int32) []graph.Dist {
 			side := s.onPathChild(parent)
 			fromD = s.BorderDists(side)
 			sideBase := pn.childOff[childIndex(pt, parent, side)]
-			fromIdx = make([]int32, len(fromD))
-			for i := range fromIdx {
-				fromIdx[i] = sideBase + int32(i)
+			fromIdx = s.idxBuf[:0]
+			for i := range fromD {
+				fromIdx = append(fromIdx, sideBase+int32(i))
 			}
+			s.idxBuf = fromIdx
 		} else {
 			// Pure down step: from the parent's own borders.
 			fromD = s.BorderDists(parent)
@@ -197,7 +255,7 @@ func (s *Source) BorderDists(ni int32) []graph.Dist {
 		}
 		s.PathCost += len(fromD) * nb
 	}
-	s.dists[ni] = out
+	s.stamp[ni] = s.cur
 	return out
 }
 
@@ -236,7 +294,9 @@ func dist64(w int32) graph.Dist {
 // leafScan is the suspendable Dijkstra search within the source's leaf,
 // augmented with the leaf's (global) border-to-border clique so that paths
 // leaving and re-entering the leaf are accounted for. It settles leaf
-// vertices in nondecreasing global distance order.
+// vertices in nondecreasing global distance order. The scan is reusable:
+// start retargets it to a new source, growing the per-leaf arrays to the
+// largest leaf seen so far and reusing them afterwards.
 type leafScan struct {
 	x     *Index
 	leaf  int32
@@ -249,28 +309,31 @@ type leafScan struct {
 	q     *pqueue.Queue
 }
 
-func newLeafScan(x *Index, q int32) *leafScan {
+func (ls *leafScan) start(x *Index, q int32) {
 	leaf := x.PT.LeafOf[q]
 	verts := x.PT.Nodes[leaf].Vertices
-	off, tgt, w := x.leafOff[leaf], x.leafTgt[leaf], x.leafW[leaf]
-	ls := &leafScan{
-		x:     x,
-		leaf:  leaf,
-		verts: verts,
-		off:   off,
-		tgt:   tgt,
-		w:     w,
-		dist:  make([]graph.Dist, len(verts)),
-		done:  make([]bool, len(verts)),
-		q:     pqueue.NewQueue(len(verts)),
+	ls.x = x
+	ls.leaf = leaf
+	ls.verts = verts
+	ls.off, ls.tgt, ls.w = x.leafOff[leaf], x.leafTgt[leaf], x.leafW[leaf]
+	n := len(verts)
+	if cap(ls.dist) < n {
+		ls.dist = make([]graph.Dist, n)
+		ls.done = make([]bool, n)
 	}
+	ls.dist = ls.dist[:n]
+	ls.done = ls.done[:n]
 	for i := range ls.dist {
 		ls.dist[i] = graph.Inf
+		ls.done[i] = false
 	}
+	if ls.q == nil {
+		ls.q = pqueue.NewQueue(n)
+	}
+	ls.q.Reset()
 	src := x.posInLeaf[q]
 	ls.dist[src] = 0
 	ls.q.Push(src, 0)
-	return ls
 }
 
 // next settles and returns the next leaf-local vertex, or ok=false.

@@ -174,7 +174,7 @@ func TestOccurrenceListCounts(t *testing.T) {
 func TestFactoryAsIEROracle(t *testing.T) {
 	g := testGraph(t, 50, 14, 14)
 	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 32})
-	f := gtree.Factory{Idx: idx}
+	f := &gtree.Factory{Idx: idx}
 	if f.Name() != "MGtree" {
 		t.Fatalf("factory name %q", f.Name())
 	}

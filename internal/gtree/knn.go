@@ -11,11 +11,21 @@ import (
 // Algorithm 4 (Appendix A.2.1), stopping after k settled leaf objects; the
 // original behaviour — exhausting all leaf objects and checking both path
 // types for each — is kept for the Figure 22 comparison.
+//
+// The method value owns its transient query memory — the Algorithm 3
+// queue and a reusable materialized Source (stamped border-distance cache,
+// suspendable leaf scan) — so a warm ImprovedLeaf query performs no heap
+// allocations.
 type KNN struct {
 	idx *Index
 	ol  *OccurrenceList
 	// ImprovedLeaf selects the Algorithm 4 leaf search (default true).
 	ImprovedLeaf bool
+
+	src     Source
+	q       *pqueue.Queue
+	out     []knn.Result
+	collect func(knn.Result) bool
 
 	// PathCost reports the border-to-border additions of the last query
 	// (Figure 9b).
@@ -25,7 +35,12 @@ type KNN struct {
 // NewKNN returns the G-tree kNN method. The occurrence list is the decoupled
 // object index; swap it with SetObjects for a different object set.
 func NewKNN(idx *Index, ol *OccurrenceList) *KNN {
-	return &KNN{idx: idx, ol: ol, ImprovedLeaf: true}
+	x := &KNN{idx: idx, ol: ol, ImprovedLeaf: true, q: pqueue.NewQueue(64)}
+	x.collect = func(r knn.Result) bool {
+		x.out = append(x.out, r)
+		return true
+	}
+	return x
 }
 
 // Name implements knn.Method.
@@ -47,12 +62,16 @@ func isNodeID(id int32) bool    { return id < 0 }
 
 // KNN implements knn.Method.
 func (x *KNN) KNN(qv int32, k int) []knn.Result {
-	out := make([]knn.Result, 0, k)
-	x.KNNStream(qv, k, func(r knn.Result) bool {
-		out = append(out, r)
-		return true
-	})
-	return out
+	return x.KNNAppend(qv, k, make([]knn.Result, 0, k))
+}
+
+// KNNAppend implements knn.Method's zero-allocation form.
+func (x *KNN) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
+	x.out = dst
+	x.KNNStream(qv, k, x.collect)
+	dst = x.out
+	x.out = nil
+	return dst
 }
 
 // KNNStream implements knn.Streamer. The Algorithm 3 queue pops vertices
@@ -65,53 +84,32 @@ func (x *KNN) KNN(qv int32, k int) []knn.Result {
 func (x *KNN) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	idx := x.idx
 	pt := idx.PT
-	src := idx.NewSource(qv)
-	q := pqueue.NewQueue(64)
+	x.src.Reset(idx, qv)
+	src := &x.src
+	q := x.q
+	q.Reset()
 	found := 0
 	stopped := false
-	emit := func(r knn.Result) bool {
-		found++
-		if !yield(r) {
-			stopped = true
-			return false
-		}
-		return true
-	}
 
 	leafQ := pt.LeafOf[qv]
 	if x.ol.Count(leafQ) > 0 {
 		if x.ImprovedLeaf {
-			x.leafSearchImproved(src, qv, k, q, emit)
+			found, stopped = x.leafSearchImproved(src, qv, k, q, yield)
 		} else {
 			x.leafSearchOriginal(src, qv, q)
 		}
 	}
 
-	root := int32(0)
+	const root = int32(0)
 	tn := leafQ
 	tmin := graph.Inf
 	if tn != root {
 		tmin = src.MinBorderDist(tn)
 	}
-	updateT := func() {
-		prev := tn
-		tn = pt.Nodes[tn].Parent
-		if tn == root || len(idx.nodes[tn].borders) == 0 {
-			tmin = graph.Inf
-		} else {
-			tmin = src.MinBorderDist(tn)
-		}
-		for _, c := range x.ol.Children(tn) {
-			if c == prev {
-				continue
-			}
-			q.Push(encodeNode(c), int64(src.MinBorderDist(c)))
-		}
-	}
 
 	for !stopped && found < k && (!q.Empty() || tn != root) {
 		if q.Empty() {
-			updateT()
+			tn, tmin = x.advanceT(src, q, tn)
 		}
 		if q.Empty() {
 			continue
@@ -119,12 +117,15 @@ func (x *KNN) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 		it := q.Pop()
 		d := graph.Dist(it.Key)
 		if d > tmin {
-			updateT()
+			tn, tmin = x.advanceT(src, q, tn)
 			q.Push(it.ID, it.Key)
 			continue
 		}
 		if !isNodeID(it.ID) {
-			emit(knn.Result{Vertex: it.ID, Dist: d})
+			found++
+			if !yield(knn.Result{Vertex: it.ID, Dist: d}) {
+				stopped = true
+			}
 			continue
 		}
 		ni := decodeNode(it.ID)
@@ -137,6 +138,27 @@ func (x *KNN) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 		}
 	}
 	x.PathCost = src.PathCost
+}
+
+// advanceT climbs the active subtree pointer one level (the UpdateT step of
+// Algorithm 3): enqueue the occupied siblings of the previous subtree and
+// return the new (node, min-border-distance) bound.
+func (x *KNN) advanceT(src *Source, q *pqueue.Queue, tn int32) (int32, graph.Dist) {
+	idx := x.idx
+	pt := idx.PT
+	prev := tn
+	tn = pt.Nodes[tn].Parent
+	tmin := graph.Inf
+	if tn != 0 && len(idx.nodes[tn].borders) > 0 {
+		tmin = src.MinBorderDist(tn)
+	}
+	for _, c := range x.ol.Children(tn) {
+		if c == prev {
+			continue
+		}
+		q.Push(encodeNode(c), int64(src.MinBorderDist(c)))
+	}
+	return tn, tmin
 }
 
 // enqueueLeafObjects inserts every object of leaf ni with its exact network
@@ -169,15 +191,12 @@ func (x *KNN) enqueueLeafObjects(src *Source, ni int32, q *pqueue.Queue) {
 
 // leafSearchImproved is Algorithm 4: a Dijkstra inside the source leaf,
 // augmented with the global border clique. Objects settled before any
-// border are immediate results (emitted right away); objects settled
+// border are immediate results (yielded right away); objects settled
 // afterwards are enqueued into the main queue with their exact distances.
-// The search stops after k settled leaf objects, or when emit reports the
-// stream consumer stopped.
-func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, emit func(knn.Result) bool) {
-	if src.local == nil {
-		src.local = newLeafScan(x.idx, qv)
-	}
-	ls := src.local
+// The search stops after k settled leaf objects, or when the stream
+// consumer stops (stopped=true). found counts the results yielded.
+func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, yield func(knn.Result) bool) (found int, stopped bool) {
+	ls := src.leafLocal()
 	leaf := src.leafQ
 	n := &x.idx.nodes[leaf]
 	borderFound := false
@@ -198,14 +217,16 @@ func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, 
 		if x.ol.IsObject(gv) {
 			targets++
 			if !borderFound {
-				if !emit(knn.Result{Vertex: gv, Dist: d}) {
-					return
+				found++
+				if !yield(knn.Result{Vertex: gv, Dist: d}) {
+					return found, true
 				}
 			} else {
 				q.Push(gv, int64(d))
 			}
 		}
 	}
+	return found, false
 }
 
 // leafSearchOriginal reproduces the pre-improvement behaviour: exhaust the

@@ -17,9 +17,13 @@ import (
 	"rnknn/internal/graph"
 	"rnknn/internal/knn"
 	"rnknn/internal/rtree"
+	"rnknn/internal/scratch"
 )
 
-// IER is the IER kNN method bound to an oracle and an object set.
+// IER is the IER kNN method bound to an oracle and an object set. The
+// method value owns all transient query memory — the top-k and pending
+// heaps, the stamped evicted set, the R-tree scan queue — so a warm query
+// performs no heap allocations.
 type IER struct {
 	name    string
 	g       *graph.Graph
@@ -33,11 +37,25 @@ type IER struct {
 	// aborts the scan early.
 	interrupt func() bool
 
+	// Per-query scratch, reused across queries. cand is the top-k max-heap,
+	// pending the min-heap of verified-but-unemitted results, evicted the
+	// stamped set of lazily invalidated candidates (previously a per-
+	// displacement map allocation), scan the suspendable R-tree search.
+	cand    []knn.Result
+	pending []knn.Result
+	evicted *scratch.Set
+	scan    rtree.Scanner
+	out     []knn.Result
+	collect func(knn.Result) bool
+
 	// FalseHits counts network distance computations in the last query that
 	// did not improve the candidate set (an experiment statistic).
 	FalseHits int
 	// OracleCalls counts network distance computations in the last query.
 	OracleCalls int
+	// Evictions counts top-k displacements in the last query (entries the
+	// stamped evicted set lazily invalidated).
+	Evictions int
 }
 
 // NewObjectTree builds the Euclidean object R-tree for objs over g — the
@@ -63,14 +81,20 @@ func New(name string, g *graph.Graph, objs *knn.ObjectSet, factory knn.SourceFac
 // NewWithTree builds an IER method over a prebuilt object R-tree (shared
 // across query sessions; see Rebind).
 func NewWithTree(name string, g *graph.Graph, objs *knn.ObjectSet, rt *rtree.Tree, factory knn.SourceFactory) *IER {
-	return &IER{
+	x := &IER{
 		name:     name,
 		g:        g,
 		objs:     objs,
 		rt:       rt,
 		factory:  factory,
 		invSpeed: 1 / g.MaxSpeed(),
+		evicted:  scratch.NewSet(g.NumVertices()),
 	}
+	x.collect = func(r knn.Result) bool {
+		x.out = append(x.out, r)
+		return true
+	}
+	return x
 }
 
 // Name implements knn.Method.
@@ -93,12 +117,16 @@ func (x *IER) Tree() *rtree.Tree { return x.rt }
 // KNN implements knn.Method: the stream already emits in nondecreasing
 // network distance order, so the buffered answer is a plain collect.
 func (x *IER) KNN(qv int32, k int) []knn.Result {
-	out := make([]knn.Result, 0, k)
-	x.KNNStream(qv, k, func(r knn.Result) bool {
-		out = append(out, r)
-		return true
-	})
-	return out
+	return x.KNNAppend(qv, k, make([]knn.Result, 0, k))
+}
+
+// KNNAppend implements knn.Method's zero-allocation form.
+func (x *IER) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
+	x.out = dst
+	x.KNNStream(qv, k, x.collect)
+	dst = x.out
+	x.out = nil
+	return dst
 }
 
 // KNNStream implements knn.Streamer and is the one search implementation
@@ -114,6 +142,7 @@ func (x *IER) KNN(qv int32, k int) []knn.Result {
 func (x *IER) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	x.FalseHits = 0
 	x.OracleCalls = 0
+	x.Evictions = 0
 	if k > x.objs.Len() {
 		k = x.objs.Len()
 	}
@@ -121,67 +150,66 @@ func (x *IER) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 		return
 	}
 	src := x.factory.NewSource(qv)
-	scan := x.rt.NewScan(geo.Point{X: x.g.X[qv], Y: x.g.Y[qv]})
-
-	cand := make([]knn.Result, 0, k)
-	pending := make([]knn.Result, 0, k)
-	var evicted map[int32]bool
+	x.scan.Start(x.rt, geo.Point{X: x.g.X[qv], Y: x.g.Y[qv]})
+	x.cand = x.cand[:0]
+	x.pending = x.pending[:0]
+	x.evicted.Reset()
 	dk := graph.Inf
-	// emit yields pending candidates with distance <= limit; false means
-	// the consumer stopped the stream.
-	emit := func(limit graph.Dist) bool {
-		for len(pending) > 0 && pending[0].Dist <= limit {
-			r := minPop(&pending)
-			if evicted[r.Vertex] {
-				continue
-			}
-			if !yield(r) {
-				return false
-			}
-		}
-		return true
-	}
 	for {
 		if x.interrupt != nil && x.interrupt() {
 			break
 		}
-		nb, ok := scan.Next()
+		nb, ok := x.scan.Next()
 		if !ok {
 			break
 		}
 		lb := graph.Dist(math.Floor(nb.Dist * x.invSpeed))
-		if !emit(lb) {
+		if !x.emitPending(lb, yield) {
 			return
 		}
-		if len(cand) == k && lb >= dk {
+		if len(x.cand) == k && lb >= dk {
 			break
 		}
 		d := src.DistanceTo(nb.ID)
 		x.OracleCalls++
-		if len(cand) < k {
-			candPush(&cand, knn.Result{Vertex: nb.ID, Dist: d})
-			minPush(&pending, knn.Result{Vertex: nb.ID, Dist: d})
-			if len(cand) == k {
-				dk = cand[0].Dist
+		if len(x.cand) < k {
+			candPush(&x.cand, knn.Result{Vertex: nb.ID, Dist: d})
+			minPush(&x.pending, knn.Result{Vertex: nb.ID, Dist: d})
+			if len(x.cand) == k {
+				dk = x.cand[0].Dist
 			}
 		} else if d < dk {
 			// The popped max (the old dk) was never emitted: emission
 			// requires dist <= lb, and lb < dk while the scan runs.
-			old := cand[0]
-			candReplaceTop(cand, knn.Result{Vertex: nb.ID, Dist: d})
-			dk = cand[0].Dist
-			if evicted == nil {
-				evicted = make(map[int32]bool)
-			}
-			evicted[old.Vertex] = true
-			minPush(&pending, knn.Result{Vertex: nb.ID, Dist: d})
+			old := x.cand[0]
+			candReplaceTop(x.cand, knn.Result{Vertex: nb.ID, Dist: d})
+			dk = x.cand[0].Dist
+			x.evicted.Add(old.Vertex)
+			x.Evictions++
+			minPush(&x.pending, knn.Result{Vertex: nb.ID, Dist: d})
 		} else {
 			x.FalseHits++
 		}
 	}
 	// Scan terminated (or was interrupted): every surviving candidate is
 	// final; drain in distance order.
-	emit(graph.Inf)
+	x.emitPending(graph.Inf, yield)
+}
+
+// emitPending yields pending candidates with distance <= limit, skipping
+// lazily invalidated (evicted) entries; false means the consumer stopped
+// the stream.
+func (x *IER) emitPending(limit graph.Dist, yield func(knn.Result) bool) bool {
+	for len(x.pending) > 0 && x.pending[0].Dist <= limit {
+		r := minPop(&x.pending)
+		if x.evicted.Contains(r.Vertex) {
+			continue
+		}
+		if !yield(r) {
+			return false
+		}
+	}
+	return true
 }
 
 var (

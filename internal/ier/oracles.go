@@ -8,31 +8,48 @@ import (
 
 // DijkstraFactory is the original IER oracle (Figure 4 "Dijk"): a suspended,
 // resumable Dijkstra expansion per query vertex. Resumption means subsequent
-// candidate distances from the same source reuse earlier expansion work.
+// candidate distances from the same source reuse earlier expansion work, and
+// the factory caches one resumable search so consecutive queries from the
+// same session reuse its stamped arrays and heap backing too.
+//
+// A factory is single-session state (like the IER instance holding it):
+// create one per session, not one shared across goroutines.
 type DijkstraFactory struct {
 	G *graph.Graph
+
+	r *dijkstra.Resumable
 }
 
 // Name implements knn.SourceFactory.
-func (f DijkstraFactory) Name() string { return "Dijk" }
+func (f *DijkstraFactory) Name() string { return "Dijk" }
 
 // NewSource implements knn.SourceFactory.
-func (f DijkstraFactory) NewSource(s int32) knn.SourceOracle {
-	return dijkstra.NewResumable(f.G, s)
+func (f *DijkstraFactory) NewSource(s int32) knn.SourceOracle {
+	if f.r == nil {
+		f.r = dijkstra.NewResumable(f.G, s)
+	} else {
+		f.r.Reset(s)
+	}
+	return f.r
 }
 
 // OracleFactory adapts any point-to-point DistanceOracle (CH, TNR, PHL) to
-// the per-source interface IER consumes.
+// the per-source interface IER consumes. The bound-source wrapper is cached
+// on the factory, so handing out a source is allocation-free; like
+// DijkstraFactory, a factory serves one session at a time.
 type OracleFactory struct {
 	Oracle knn.DistanceOracle
+
+	src boundOracle
 }
 
 // Name implements knn.SourceFactory.
-func (f OracleFactory) Name() string { return f.Oracle.Name() }
+func (f *OracleFactory) Name() string { return f.Oracle.Name() }
 
 // NewSource implements knn.SourceFactory.
-func (f OracleFactory) NewSource(s int32) knn.SourceOracle {
-	return boundOracle{f.Oracle, s}
+func (f *OracleFactory) NewSource(s int32) knn.SourceOracle {
+	f.src = boundOracle{f.Oracle, s}
+	return &f.src
 }
 
 type boundOracle struct {
@@ -40,4 +57,4 @@ type boundOracle struct {
 	s int32
 }
 
-func (b boundOracle) DistanceTo(t int32) graph.Dist { return b.o.Distance(b.s, t) }
+func (b *boundOracle) DistanceTo(t int32) graph.Dist { return b.o.Distance(b.s, t) }

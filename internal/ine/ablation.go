@@ -90,6 +90,14 @@ func (a *Ablation) KNN(qv int32, k int) []knn.Result {
 	return a.knnDuplicates(qv, k)
 }
 
+// KNNAppend implements knn.Method. The ablation rungs deliberately keep
+// their per-query allocations (that overhead is part of what Figure 7
+// measures), so this is a copy of the buffered answer, not a zero-alloc
+// path.
+func (a *Ablation) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
+	return append(dst, a.KNN(qv, k)...)
+}
+
 // knnDecreaseKey is the first-cut variant: indexed heap with decrease-key
 // over per-vertex adjacency objects. The settled container is the shared
 // bit-array (see Variant).

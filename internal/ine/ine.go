@@ -29,6 +29,12 @@ type INE struct {
 	// vertices; a true return aborts the scan early.
 	interrupt func() bool
 
+	// out and collect implement the allocation-free KNNAppend: collect is
+	// a collector closure bound once at construction, so the append-into-
+	// caller-buffer path creates no per-query closure.
+	out     []knn.Result
+	collect func(knn.Result) bool
+
 	// VisitedVertices counts vertices settled by the last query (an
 	// experiment statistic).
 	VisitedVertices int
@@ -42,7 +48,7 @@ const interruptStride = 256
 // New returns an INE method over g and the object set.
 func New(g *graph.Graph, objs *knn.ObjectSet) *INE {
 	n := g.NumVertices()
-	return &INE{
+	x := &INE{
 		g:       g,
 		objs:    objs,
 		dist:    make([]graph.Dist, n),
@@ -50,6 +56,11 @@ func New(g *graph.Graph, objs *knn.ObjectSet) *INE {
 		settled: bitset.New(n),
 		q:       pqueue.NewQueue(1024),
 	}
+	x.collect = func(r knn.Result) bool {
+		x.out = append(x.out, r)
+		return true
+	}
+	return x
 }
 
 // Name implements knn.Method.
@@ -64,12 +75,17 @@ func (x *INE) SetInterrupt(check func() bool) { x.interrupt = check }
 
 // KNN implements knn.Method.
 func (x *INE) KNN(qv int32, k int) []knn.Result {
-	out := make([]knn.Result, 0, k)
-	x.KNNStream(qv, k, func(r knn.Result) bool {
-		out = append(out, r)
-		return true
-	})
-	return out
+	return x.KNNAppend(qv, k, make([]knn.Result, 0, k))
+}
+
+// KNNAppend implements knn.Method: the zero-allocation query form (the
+// caller owns dst, the session owns everything else).
+func (x *INE) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
+	x.out = dst
+	x.KNNStream(qv, k, x.collect)
+	dst = x.out
+	x.out = nil
+	return dst
 }
 
 // KNNStream implements knn.Streamer. Expansion settles vertices in
@@ -136,6 +152,11 @@ func (x *INE) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 // nondecreasing distance order — the range-query companion of KNN, using
 // the same expansion machinery.
 func (x *INE) Range(qv int32, radius graph.Dist) []knn.Result {
+	return x.RangeAppend(qv, radius, nil)
+}
+
+// RangeAppend implements knn.RangeMethod's caller-owned-buffer form.
+func (x *INE) RangeAppend(qv int32, radius graph.Dist, dst []knn.Result) []knn.Result {
 	x.cur++
 	if x.cur == 0 {
 		for i := range x.stamp {
@@ -147,7 +168,7 @@ func (x *INE) Range(qv int32, radius graph.Dist) []knn.Result {
 	x.q.Reset()
 	x.VisitedVertices = 0
 
-	var out []knn.Result
+	out := dst
 	x.dist[qv] = 0
 	x.stamp[qv] = x.cur
 	x.q.Push(qv, 0)

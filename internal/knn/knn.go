@@ -22,6 +22,13 @@ type Result struct {
 
 // Method is a kNN query algorithm bound to a road network index and an
 // object set. Implementations are not safe for concurrent use.
+//
+// KNNAppend is the primary query form: result storage is caller-owned, so
+// a caller reusing its buffer across queries pays no per-query allocation
+// — every method keeps its transient search state (heaps, distance arrays,
+// stamped sets) on the method value and resets it in O(1) per query, which
+// makes a warm KNNAppend allocation-free. KNN is the convenience form that
+// allocates a fresh slice.
 type Method interface {
 	// Name identifies the method in experiment output (e.g. "INE",
 	// "IER-PHL", "Gtree").
@@ -29,13 +36,18 @@ type Method interface {
 	// KNN returns the k nearest objects to query vertex q by network
 	// distance, fewer if the object set is smaller than k.
 	KNN(q int32, k int) []Result
+	// KNNAppend appends the same answer to dst and returns the extended
+	// slice. Steady-state calls with sufficient capacity do not allocate.
+	KNNAppend(q int32, k int, dst []Result) []Result
 }
 
 // RangeMethod is implemented by methods that answer range queries natively:
 // every object within network distance radius of q, in nondecreasing
-// distance order.
+// distance order. RangeAppend is the caller-owned-buffer form, mirroring
+// Method.KNNAppend.
 type RangeMethod interface {
 	Range(q int32, radius graph.Dist) []Result
+	RangeAppend(q int32, radius graph.Dist, dst []Result) []Result
 }
 
 // Interruptible is implemented by methods whose scans can abort early: the

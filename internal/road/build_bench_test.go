@@ -1,0 +1,20 @@
+package road_test
+
+import (
+	"testing"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/road"
+)
+
+// BenchmarkBuild measures ROAD index construction (the Figure 18 build-time
+// surface) on a mid-size grid network — the satellite target of the
+// map-free border/position bookkeeping.
+func BenchmarkBuild(b *testing.B) {
+	g := gen.Network(gen.NetworkSpec{Name: "bench", Rows: 120, Cols: 140, Seed: 7})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		road.Build(g, road.Options{})
+	}
+}

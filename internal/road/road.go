@@ -21,6 +21,7 @@ import (
 	"rnknn/internal/knn"
 	"rnknn/internal/partition"
 	"rnknn/internal/pqueue"
+	"rnknn/internal/scratch"
 )
 
 const inf32 int32 = 1 << 30
@@ -131,7 +132,12 @@ func (x *Index) buildRouteOverlay() {
 
 func (x *Index) computeBorders() {
 	pt := x.PT
-	sets := make([]map[int32]bool, len(pt.Nodes))
+	// Vertices are scanned in ascending order, so each node's border list
+	// is built already sorted; duplicates (one per outgoing cross edge)
+	// arrive adjacently and are dropped with a last-element check — no
+	// per-node hash set, no sort (the Section 6.2 container discipline
+	// applied to the build path).
+	x.borders = make([][]int32, len(pt.Nodes))
 	for u := int32(0); u < int32(x.G.NumVertices()); u++ {
 		ts, _ := x.G.Neighbors(u)
 		leafU := pt.LeafOf[u]
@@ -141,29 +147,12 @@ func (x *Index) computeBorders() {
 			}
 			n := leafU
 			for n != -1 && !pt.Contains(n, v) {
-				if sets[n] == nil {
-					sets[n] = make(map[int32]bool)
+				if bs := x.borders[n]; len(bs) == 0 || bs[len(bs)-1] != u {
+					x.borders[n] = append(x.borders[n], u)
 				}
-				sets[n][u] = true
 				n = pt.Nodes[n].Parent
 			}
 		}
-	}
-	x.borders = make([][]int32, len(pt.Nodes))
-	for ni, m := range sets {
-		if len(m) == 0 {
-			continue
-		}
-		bs := make([]int32, 0, len(m))
-		for v := range m {
-			bs = append(bs, v)
-		}
-		for i := 1; i < len(bs); i++ { // insertion sort; border lists are small
-			for j := i; j > 0 && bs[j] < bs[j-1]; j-- {
-				bs[j], bs[j-1] = bs[j-1], bs[j]
-			}
-		}
-		x.borders[ni] = bs
 	}
 }
 
@@ -206,11 +195,15 @@ func (x *Index) computeShortcuts() {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
+	// One stamped position map serves every node's shortcut computation
+	// (reset per node in O(1)) — the former per-node map[int32]int32
+	// allocations.
+	pos := scratch.NewMap32(x.G.NumVertices())
 	for _, ni := range order {
 		if pt.Nodes[ni].IsLeaf() {
-			x.leafShortcuts(ni)
+			x.leafShortcuts(ni, pos)
 		} else {
-			x.innerShortcuts(ni)
+			x.innerShortcuts(ni, pos)
 		}
 	}
 }
@@ -235,7 +228,7 @@ func (x *Index) setShortcut(ni, bi, bj int32, d graph.Dist) {
 	x.shorts[x.matOff[ni]+bi*nb+bj] = w
 }
 
-func (x *Index) leafShortcuts(ni int32) {
+func (x *Index) leafShortcuts(ni int32, pos *scratch.Map32) {
 	pt := x.PT
 	verts := pt.Nodes[ni].Vertices
 	bs := x.borders[ni]
@@ -243,9 +236,9 @@ func (x *Index) leafShortcuts(ni int32) {
 		return
 	}
 	off, tgt, w := partition.ExtractCSR(x.G, verts)
-	pos := make(map[int32]int32, len(verts))
+	pos.Reset()
 	for i, v := range verts {
-		pos[v] = int32(i)
+		pos.Put(v, int32(i))
 	}
 	dist := make([]graph.Dist, len(verts))
 	q := pqueue.NewQueue(len(verts))
@@ -254,7 +247,7 @@ func (x *Index) leafShortcuts(ni int32) {
 			dist[i] = graph.Inf
 		}
 		q.Reset()
-		src := pos[b]
+		src, _ := pos.Get(b)
 		dist[src] = 0
 		q.Push(src, 0)
 		for !q.Empty() {
@@ -273,21 +266,22 @@ func (x *Index) leafShortcuts(ni int32) {
 			}
 		}
 		for bj, b2 := range bs {
-			x.setShortcut(ni, int32(bi), int32(bj), dist[pos[b2]])
+			p, _ := pos.Get(b2)
+			x.setShortcut(ni, int32(bi), int32(bj), dist[p])
 		}
 	}
 }
 
-func (x *Index) innerShortcuts(ni int32) {
+func (x *Index) innerShortcuts(ni int32, pos *scratch.Map32) {
 	pt := x.PT
 	children := pt.Nodes[ni].Children
 	// Border graph vertices: union of child borders.
 	var cb []int32
-	pos := make(map[int32]int32)
+	pos.Reset()
 	for _, c := range children {
 		for _, b := range x.borders[c] {
-			if _, ok := pos[b]; !ok {
-				pos[b] = int32(len(cb))
+			if _, ok := pos.Get(b); !ok {
+				pos.Put(b, int32(len(cb)))
 				cb = append(cb, b)
 			}
 		}
@@ -301,24 +295,25 @@ func (x *Index) innerShortcuts(ni int32) {
 		bs := x.borders[c]
 		nb := int32(len(bs))
 		for i := int32(0); i < nb; i++ {
-			pi := pos[bs[i]]
+			pi, _ := pos.Get(bs[i])
 			for j := int32(0); j < nb; j++ {
 				if i == j {
 					continue
 				}
 				w := x.shorts[x.matOff[c]+i*nb+j]
 				if w < inf32 {
-					adj[pi] = append(adj[pi], arc{pos[bs[j]], w})
+					pj, _ := pos.Get(bs[j])
+					adj[pi] = append(adj[pi], arc{pj, w})
 				}
 			}
 		}
 	}
 	childLevel := pt.Nodes[ni].Level + 1
 	for _, u := range cb {
-		ui := pos[u]
+		ui, _ := pos.Get(u)
 		ts, ws := x.G.Neighbors(u)
 		for i, v := range ts {
-			vi, ok := pos[v]
+			vi, ok := pos.Get(v)
 			if !ok {
 				continue
 			}
@@ -335,7 +330,7 @@ func (x *Index) innerShortcuts(ni int32) {
 			dist[i] = graph.Inf
 		}
 		q.Reset()
-		src := pos[b] // every border of ni is a border of some child
+		src, _ := pos.Get(b) // every border of ni is a border of some child
 		dist[src] = 0
 		q.Push(src, 0)
 		for !q.Empty() {
@@ -353,7 +348,8 @@ func (x *Index) innerShortcuts(ni int32) {
 			}
 		}
 		for bj, b2 := range bs {
-			x.setShortcut(ni, int32(bi), int32(bj), dist[pos[b2]])
+			p, _ := pos.Get(b2)
+			x.setShortcut(ni, int32(bi), int32(bj), dist[p])
 		}
 	}
 }
@@ -464,7 +460,8 @@ func (ad *AssociationDirectory) Remove(x *Index, v int32) bool {
 }
 
 // KNN is the ROAD kNN algorithm (Algorithm 5) bound to an association
-// directory. Not safe for concurrent use.
+// directory. Not safe for concurrent use. All transient search state lives
+// on the method value, so a warm query performs no heap allocations.
 type KNN struct {
 	idx     *Index
 	ad      *AssociationDirectory
@@ -477,6 +474,9 @@ type KNN struct {
 	// used to reject bypassing any Rnet containing the query in O(1).
 	qAnc []int32
 
+	out     []knn.Result
+	collect func(knn.Result) bool
+
 	// VerticesBypassed counts, for the last query, the total size of the
 	// Rnets bypassed via shortcuts (Figure 9b).
 	VerticesBypassed int
@@ -484,7 +484,7 @@ type KNN struct {
 
 // NewKNN returns the ROAD kNN method.
 func NewKNN(idx *Index, ad *AssociationDirectory) *KNN {
-	return &KNN{
+	x := &KNN{
 		idx:     idx,
 		ad:      ad,
 		settled: bitset.New(idx.G.NumVertices()),
@@ -493,6 +493,11 @@ func NewKNN(idx *Index, ad *AssociationDirectory) *KNN {
 		stamp:   make([]uint32, idx.G.NumVertices()),
 		qAnc:    make([]int32, idx.Levels+1),
 	}
+	x.collect = func(r knn.Result) bool {
+		x.out = append(x.out, r)
+		return true
+	}
+	return x
 }
 
 // Name implements knn.Method.
@@ -503,12 +508,16 @@ func (x *KNN) SetObjects(ad *AssociationDirectory) { x.ad = ad }
 
 // KNN implements knn.Method.
 func (x *KNN) KNN(qv int32, k int) []knn.Result {
-	out := make([]knn.Result, 0, k)
-	x.KNNStream(qv, k, func(r knn.Result) bool {
-		out = append(out, r)
-		return true
-	})
-	return out
+	return x.KNNAppend(qv, k, make([]knn.Result, 0, k))
+}
+
+// KNNAppend implements knn.Method's zero-allocation form.
+func (x *KNN) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
+	x.out = dst
+	x.KNNStream(qv, k, x.collect)
+	dst = x.out
+	x.out = nil
+	return dst
 }
 
 // KNNStream implements knn.Streamer: the Rnet-bypassing expansion settles

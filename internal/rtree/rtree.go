@@ -453,11 +453,21 @@ type Scanner struct {
 
 // NewScan starts an incremental Euclidean NN scan from p.
 func (t *Tree) NewScan(p geo.Point) *Scanner {
-	s := &Scanner{t: t, from: p}
+	s := &Scanner{}
+	s.Start(t, p)
+	return s
+}
+
+// Start (re)initializes s as a scan of t from p, retaining the queue's
+// backing array — the reuse hook that lets a query session keep one
+// Scanner for its lifetime instead of allocating one per query.
+func (s *Scanner) Start(t *Tree, p geo.Point) {
+	s.t = t
+	s.from = p
+	s.items = s.items[:0]
 	if t.root >= 0 {
 		s.push(scanItem{key: t.nodes[t.root].rect.MinDist(p), node: t.root})
 	}
-	return s
 }
 
 // PeekDist returns the lower bound on the distance of the next neighbor, or

@@ -1,0 +1,137 @@
+// Package scratch provides the reusable, epoch-stamped scratch containers
+// behind the zero-allocation query hot paths (the Section 6.2 lesson —
+// pre-allocate working storage once, reset it in O(1) — applied uniformly).
+//
+// Every container pairs its payload array with a generation-stamp array:
+// an entry is live only when its stamp equals the container's current
+// generation, so Reset is a single counter increment instead of a clear.
+// When the 32-bit generation wraps, the stamp array is cleared once — an
+// O(n) event every 2^32-1 resets, amortized to nothing.
+//
+// Containers are not safe for concurrent use; each query session owns its
+// own set.
+package scratch
+
+import "rnknn/internal/graph"
+
+// Dists is a stamped distance array — the reusable form of the
+// dist/stamp pairs the Dijkstra-style scans (INE, ROAD, the solvers)
+// embed inline: reset per query by generation counter rather than by
+// refilling with +Inf.
+type Dists struct {
+	dist  []graph.Dist
+	stamp []uint32
+	cur   uint32
+}
+
+// NewDists returns a stamped distance array over n slots.
+func NewDists(n int) *Dists {
+	return &Dists{dist: make([]graph.Dist, n), stamp: make([]uint32, n), cur: 1}
+}
+
+// Len returns the number of slots.
+func (d *Dists) Len() int { return len(d.dist) }
+
+// Reset invalidates every entry in O(1).
+func (d *Dists) Reset() {
+	d.cur++
+	if d.cur == 0 { // wrapped: clear once, then restart at generation 1
+		for i := range d.stamp {
+			d.stamp[i] = 0
+		}
+		d.cur = 1
+	}
+}
+
+// Get returns the distance of v, or graph.Inf when v has no entry this
+// generation.
+func (d *Dists) Get(v int32) graph.Dist {
+	if d.stamp[v] != d.cur {
+		return graph.Inf
+	}
+	return d.dist[v]
+}
+
+// Set records the distance of v for the current generation.
+func (d *Dists) Set(v int32, dist graph.Dist) {
+	d.dist[v] = dist
+	d.stamp[v] = d.cur
+}
+
+// Set is a stamped membership set over [0, n): the "evicted"/"seen"
+// container that replaces per-query map[int32]bool allocations. The zero
+// generation trick makes Clear-all O(1).
+type Set struct {
+	stamp []uint32
+	cur   uint32
+}
+
+// NewSet returns a stamped set over n slots.
+func NewSet(n int) *Set {
+	return &Set{stamp: make([]uint32, n), cur: 1}
+}
+
+// Len returns the number of slots.
+func (s *Set) Len() int { return len(s.stamp) }
+
+// Reset empties the set in O(1).
+func (s *Set) Reset() {
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+}
+
+// Add inserts v.
+func (s *Set) Add(v int32) { s.stamp[v] = s.cur }
+
+// Remove deletes v.
+func (s *Set) Remove(v int32) { s.stamp[v] = 0 }
+
+// Contains reports whether v is in the set.
+func (s *Set) Contains(v int32) bool { return s.stamp[v] == s.cur }
+
+// Map32 is a stamped sparse int32-to-int32 map over keys in [0, n): the
+// allocation-free replacement for the per-query (and per-build-step)
+// map[int32]int32 position maps. Lookup and store are array indexing.
+type Map32 struct {
+	val   []int32
+	stamp []uint32
+	cur   uint32
+}
+
+// NewMap32 returns a stamped map over n key slots.
+func NewMap32(n int) *Map32 {
+	return &Map32{val: make([]int32, n), stamp: make([]uint32, n), cur: 1}
+}
+
+// Len returns the number of key slots.
+func (m *Map32) Len() int { return len(m.val) }
+
+// Reset empties the map in O(1).
+func (m *Map32) Reset() {
+	m.cur++
+	if m.cur == 0 {
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+// Get returns the value stored under k and whether k is present.
+func (m *Map32) Get(k int32) (int32, bool) {
+	if m.stamp[k] != m.cur {
+		return 0, false
+	}
+	return m.val[k], true
+}
+
+// Put stores v under k.
+func (m *Map32) Put(k, v int32) {
+	m.val[k] = v
+	m.stamp[k] = m.cur
+}

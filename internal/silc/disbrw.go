@@ -9,6 +9,7 @@ import (
 	"rnknn/internal/knn"
 	"rnknn/internal/pqueue"
 	"rnknn/internal/rtree"
+	"rnknn/internal/scratch"
 )
 
 // candidates is the shared Distance Browsing machinery: per-object interval
@@ -16,6 +17,11 @@ import (
 // capped at k (Dk = largest candidate upper bound once |L| = k), and the
 // corrected bookkeeping of Appendix A.1 (delete-before-refine, inclusive
 // re-insert, tie refinement).
+//
+// The state is reusable: the refiners live in an arena indexed by a
+// stamped per-vertex table (the former map[int32]*Refiner), membership in
+// L is a stamped set, and both heaps retain their backing arrays — reset
+// is O(1) and a warm query allocates nothing.
 type candidates struct {
 	x  *Index
 	q  int32
@@ -25,21 +31,58 @@ type candidates struct {
 	// encoded as -(id+1)) keyed by lower bound.
 	queue *pqueue.Queue
 	l     *pqueue.MaxQueue
-	ref   map[int32]*Refiner
-	inL   map[int32]bool
+	// refiners is the arena; ref maps an object vertex to its slot in it.
+	// Arena pointers are only held within one step, never across an
+	// addRefiner (growth may move the backing array).
+	refiners []Refiner
+	ref      *scratch.Map32
+	inL      *scratch.Set
 }
 
-func newCandidates(x *Index, q int32, k int) *candidates {
-	return &candidates{
-		x:     x,
-		q:     q,
-		k:     k,
-		dk:    graph.Inf,
-		queue: pqueue.NewQueue(64),
-		l:     &pqueue.MaxQueue{},
-		ref:   map[int32]*Refiner{},
-		inL:   map[int32]bool{},
+// init sizes the stamped tables for x's graph; call once per owner.
+func (c *candidates) init(x *Index) {
+	n := x.G.NumVertices()
+	c.x = x
+	c.queue = pqueue.NewQueue(64)
+	c.l = &pqueue.MaxQueue{}
+	c.ref = scratch.NewMap32(n)
+	c.inL = scratch.NewSet(n)
+}
+
+// reset retargets the machinery to a new (q, k) in O(1).
+func (c *candidates) reset(q int32, k int) {
+	c.q = q
+	c.k = k
+	c.dk = graph.Inf
+	c.queue.Reset()
+	c.l.Reset()
+	c.refiners = c.refiners[:0]
+	c.ref.Reset()
+	c.inL.Reset()
+}
+
+// refinerOf returns o's refiner, or nil when o has not been encountered
+// this query.
+func (c *candidates) refinerOf(o int32) *Refiner {
+	i, ok := c.ref.Get(o)
+	if !ok {
+		return nil
 	}
+	return &c.refiners[i]
+}
+
+// addRefiner allocates o's refiner from the arena and initializes it.
+func (c *candidates) addRefiner(o int32) *Refiner {
+	i := len(c.refiners)
+	if i < cap(c.refiners) {
+		c.refiners = c.refiners[:i+1]
+	} else {
+		c.refiners = append(c.refiners, Refiner{})
+	}
+	c.ref.Put(o, int32(i))
+	r := &c.refiners[i]
+	r.Init(c.x, c.q, o)
+	return r
 }
 
 // updateL implements UpdateL of Algorithm 1: insert the candidate, trim L
@@ -48,12 +91,12 @@ func newCandidates(x *Index, q int32, k int) *candidates {
 // "implicitly dropped" object is never lost.
 func (c *candidates) updateL(o int32, ub graph.Dist) {
 	c.l.Push(o, int64(ub))
-	c.inL[o] = true
+	c.inL.Add(o)
 	if c.l.Len() >= c.k {
 		if c.l.Len() > c.k {
 			ev := c.l.Pop()
-			c.inL[ev.ID] = false
-			if r := c.ref[ev.ID]; r != nil && ev.ID != o {
+			c.inL.Remove(ev.ID)
+			if r := c.refinerOf(ev.ID); r != nil && ev.ID != o {
 				if lb, _ := r.Bounds(); lb < c.dk {
 					c.queue.Push(ev.ID, int64(lb))
 				}
@@ -69,11 +112,10 @@ func (c *candidates) updateL(o int32, ub graph.Dist) {
 // interval (one Morton-list lookup) and file it under Q and L as its bounds
 // allow (ProcessCandidate of Algorithm 2 / lines 19-26 of Algorithm 1).
 func (c *candidates) processCandidate(o int32) {
-	if _, seen := c.ref[o]; seen {
+	if _, seen := c.ref.Get(o); seen {
 		return
 	}
-	r := c.x.NewRefiner(c.q, o)
-	c.ref[o] = r
+	r := c.addRefiner(o)
 	lb, ub := r.Bounds()
 	if lb < c.dk {
 		c.queue.Push(o, int64(lb))
@@ -88,7 +130,7 @@ func (c *candidates) processCandidate(o int32) {
 // queue (the suspended Euclidean scan's Front(E) in Algorithm 2; Inf when
 // every pending object is queued).
 func (c *candidates) handleObject(o int32, extraFront graph.Dist) {
-	r := c.ref[o]
+	r := c.refinerOf(o)
 	lb, ub := r.Bounds()
 	front := graph.Dist(c.queue.MinKey())
 	if extraFront < front {
@@ -99,10 +141,10 @@ func (c *candidates) handleObject(o int32, extraFront graph.Dist) {
 	// drop: an object that is neither filed in L nor safely below Dk must
 	// keep refining, or a true neighbor could be lost (the edge case the
 	// paper's line-6 termination otherwise prevents).
-	if ub > front || (ub == front && ub != lb) || (!c.inL[o] && ub > c.dk) {
-		if ub <= c.dk && c.inL[o] {
+	if ub > front || (ub == front && ub != lb) || (!c.inL.Contains(o) && ub > c.dk) {
+		if ub <= c.dk && c.inL.Contains(o) {
 			c.l.Remove(o)
-			c.inL[o] = false
+			c.inL.Remove(o)
 		}
 		r.Step()
 		lb, ub = r.Bounds()
@@ -116,26 +158,33 @@ func (c *candidates) handleObject(o int32, extraFront graph.Dist) {
 	// Else: implicitly dropped — its upper bound is at or below every
 	// remaining lower bound, so no remaining object can beat it. File it in
 	// L if a tighter earlier Dk kept it out.
-	if !c.inL[o] && ub <= c.dk {
+	if !c.inL.Contains(o) && ub <= c.dk {
 		c.updateL(o, ub)
 	}
 }
 
-// results drains L into ascending order, refining any unconverged candidate
-// to its exact distance so callers receive true network distances (the
-// algorithm's membership is unchanged; see Appendix A.1 discussion).
-func (c *candidates) results() []knn.Result {
-	items := c.l.Items()
-	out := make([]knn.Result, 0, len(items))
-	for _, it := range items {
-		d := c.ref[it.ID].RefineExact()
-		out = append(out, knn.Result{Vertex: it.ID, Dist: d})
+// resultsAppend drains L into dst in ascending distance order, refining any
+// unconverged candidate to its exact distance so callers receive true
+// network distances (the algorithm's membership is unchanged; see Appendix
+// A.1 discussion). The appended segment is insertion-sorted in place — L
+// holds at most k entries and arrives near-sorted, and avoiding sort.Slice
+// keeps the path allocation-free.
+func (c *candidates) resultsAppend(dst []knn.Result) []knn.Result {
+	base := len(dst)
+	for _, it := range c.l.Items() {
+		d := c.refinerOf(it.ID).RefineExact()
+		dst = append(dst, knn.Result{Vertex: it.ID, Dist: d})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
-	if len(out) > c.k {
-		out = out[:c.k]
+	seg := dst[base:]
+	for i := 1; i < len(seg); i++ {
+		for j := i; j > 0 && seg[j].Dist < seg[j-1].Dist; j-- {
+			seg[j], seg[j-1] = seg[j-1], seg[j]
+		}
 	}
-	return out
+	if len(seg) > c.k {
+		dst = dst[:base+c.k]
+	}
+	return dst
 }
 
 // DBENN is the Distance Browsing variant of Appendix A.1.1 (Algorithm 2):
@@ -147,6 +196,11 @@ type DBENN struct {
 	x    *Index
 	objs *knn.ObjectSet
 	rt   *rtree.Tree
+
+	// Reusable per-session search state: the Distance Browsing candidate
+	// machinery and the suspendable Euclidean scan.
+	c    candidates
+	scan rtree.Scanner
 }
 
 // NewDBENN builds the method; the object R-tree is the decoupled object
@@ -164,7 +218,9 @@ func NewDBENN(x *Index, objs *knn.ObjectSet) *DBENN {
 // read-only across query sessions; see Rebind — object churn swaps in a
 // cloned-and-updated tree rather than mutating this one).
 func NewDBENNWithTree(x *Index, objs *knn.ObjectSet, rt *rtree.Tree) *DBENN {
-	return &DBENN{x: x, objs: objs, rt: rt}
+	m := &DBENN{x: x, objs: objs, rt: rt}
+	m.c.init(x)
+	return m
 }
 
 // Name implements knn.Method.
@@ -178,14 +234,21 @@ func (m *DBENN) Rebind(objs *knn.ObjectSet, rt *rtree.Tree) {
 
 // KNN implements knn.Method.
 func (m *DBENN) KNN(qv int32, k int) []knn.Result {
+	return m.KNNAppend(qv, k, make([]knn.Result, 0, k))
+}
+
+// KNNAppend implements knn.Method's zero-allocation form.
+func (m *DBENN) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
 	if k > m.objs.Len() {
 		k = m.objs.Len()
 	}
 	if k == 0 {
-		return nil
+		return dst
 	}
-	c := newCandidates(m.x, qv, k)
-	scan := m.rt.NewScan(geo.Point{X: m.x.G.X[qv], Y: m.x.G.Y[qv]})
+	c := &m.c
+	c.reset(qv, k)
+	scan := &m.scan
+	scan.Start(m.rt, geo.Point{X: m.x.G.X[qv], Y: m.x.G.Y[qv]})
 	// Seed with the k Euclidean nearest neighbors, then suspend the scan.
 	for i := 0; i < k; i++ {
 		nb, ok := scan.Next()
@@ -228,7 +291,7 @@ func (m *DBENN) KNN(qv int32, k int) []knn.Result {
 		it := c.queue.Pop()
 		o := it.ID
 		lb := graph.Dist(it.Key)
-		if r := c.ref[o]; graph.Dist(r.lb) != lb {
+		if r := c.refinerOf(o); graph.Dist(r.lb) != lb {
 			continue // stale entry superseded by a refinement
 		}
 		if lb >= c.dk && c.l.Len() >= k {
@@ -236,7 +299,7 @@ func (m *DBENN) KNN(qv int32, k int) []knn.Result {
 		}
 		c.handleObject(o, peek)
 	}
-	return c.results()
+	return c.resultsAppend(dst)
 }
 
 // DisBrw is the Object Hierarchy form of Distance Browsing (Algorithm 1):
@@ -247,6 +310,9 @@ type DisBrw struct {
 	x  *Index
 	oh *ObjectHierarchy
 
+	// c is the reusable Distance Browsing candidate machinery.
+	c candidates
+
 	// ScannedBlocks counts SILC blocks scanned for node intervals in the
 	// last query (the Object Hierarchy overhead of Appendix A.1.1).
 	ScannedBlocks int
@@ -254,7 +320,9 @@ type DisBrw struct {
 
 // NewDisBrw builds the method over an Object Hierarchy.
 func NewDisBrw(x *Index, oh *ObjectHierarchy) *DisBrw {
-	return &DisBrw{x: x, oh: oh}
+	m := &DisBrw{x: x, oh: oh}
+	m.c.init(x)
+	return m
 }
 
 // Name implements knn.Method.
@@ -265,14 +333,20 @@ func (m *DisBrw) SetObjects(oh *ObjectHierarchy) { m.oh = oh }
 
 // KNN implements knn.Method.
 func (m *DisBrw) KNN(qv int32, k int) []knn.Result {
+	return m.KNNAppend(qv, k, make([]knn.Result, 0, k))
+}
+
+// KNNAppend implements knn.Method's zero-allocation form.
+func (m *DisBrw) KNNAppend(qv int32, k int, dst []knn.Result) []knn.Result {
 	if k > len(m.oh.objs) {
 		k = len(m.oh.objs)
 	}
 	if k == 0 {
-		return nil
+		return dst
 	}
 	m.ScannedBlocks = 0
-	c := newCandidates(m.x, qv, k)
+	c := &m.c
+	c.reset(qv, k)
 	qpt := geo.Point{X: m.x.G.X[qv], Y: m.x.G.Y[qv]}
 	c.queue.Push(encodeOH(0), 0)
 
@@ -284,7 +358,7 @@ func (m *DisBrw) KNN(qv int32, k int) []knn.Result {
 		}
 		if !isOHNode(it.ID) {
 			o := it.ID
-			if r := c.ref[o]; graph.Dist(r.lb) != lb {
+			if r := c.refinerOf(o); graph.Dist(r.lb) != lb {
 				continue
 			}
 			c.handleObject(o, graph.Inf)
@@ -317,7 +391,7 @@ func (m *DisBrw) KNN(qv int32, k int) []knn.Result {
 			}
 		}
 	}
-	return c.results()
+	return c.resultsAppend(dst)
 }
 
 // nodeInterval bounds the network distance from q to any object of node cn:

@@ -285,13 +285,20 @@ type Refiner struct {
 // NewRefiner starts a refinement of d(q, t) with the initial interval from
 // q's Morton list.
 func (x *Index) NewRefiner(q, t int32) *Refiner {
-	r := &Refiner{x: x, t: t, prev: -1, vn: q}
+	r := &Refiner{}
+	r.Init(x, q, t)
+	return r
+}
+
+// Init (re)starts r as a refinement of d(q, t) — the in-place form that
+// lets Distance Browsing keep its refiners in a reusable arena instead of
+// allocating one per candidate object.
+func (r *Refiner) Init(x *Index, q, t int32) {
+	*r = Refiner{x: x, t: t, prev: -1, vn: q}
 	if q == t {
-		r.lb, r.ub = 0, 0
-		return r
+		return // lb = ub = 0
 	}
 	r.setInterval()
-	return r
 }
 
 // Bounds returns the current [lower, upper] interval.

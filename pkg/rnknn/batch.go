@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"rnknn/internal/core"
 	"rnknn/internal/knn"
 )
 
@@ -125,11 +124,11 @@ func (b *Batch) Run(ctx context.Context) ([]BatchResult, error) {
 // for. After cancellation the worker keeps draining, marking each
 // remaining query with ctx's error, so every result slot is filled.
 func (db *DB) batchWorker(ctx context.Context, ops []batchOp, out []BatchResult, next *atomic.Int64) {
-	var sess [numMethods]core.Session
+	var sess [numMethods]*pooledSession
 	defer func() {
-		for m, s := range sess {
-			if s != nil {
-				db.pools[m].put(s)
+		for m, ps := range sess {
+			if ps != nil {
+				db.pools[m].put(ps)
 			}
 		}
 	}()
@@ -143,8 +142,10 @@ func (db *DB) batchWorker(ctx context.Context, ops []batchOp, out []BatchResult,
 }
 
 // runBatchOp validates and executes one batch query against the worker's
-// cached sessions.
-func (db *DB) runBatchOp(ctx context.Context, op *batchOp, sess *[numMethods]core.Session) BatchResult {
+// cached sessions. The search runs into the session's worker-local scratch
+// buffer (reused across the worker's whole share of the batch); the only
+// per-query allocation is the exact-size result copy the caller keeps.
+func (db *DB) runBatchOp(ctx context.Context, op *batchOp, sess *[numMethods]*pooledSession) BatchResult {
 	res := BatchResult{Query: op.q}
 	fail := func(err error) BatchResult { res.Err = err; return res }
 	if op.isRange {
@@ -171,38 +172,34 @@ func (db *DB) runBatchOp(ctx context.Context, op *batchOp, sess *[numMethods]cor
 		m = db.resolveMethod(op.qo.method, op.k, b)
 	}
 	res.Method = m
-	s := sess[m]
-	if s == nil {
-		if s, err = db.pools[m].get(b); err != nil {
+	ps := sess[m]
+	if ps == nil {
+		if ps, err = db.pools[m].get(b); err != nil {
 			return fail(err)
 		}
-		sess[m] = s
+		sess[m] = ps
 	} else {
 		// Rebinding an already-held session to this query's category
 		// snapshot is a few pointer swaps — the cheap path Batch exists
 		// to hit.
-		s.Rebind(b)
+		ps.sess.Rebind(b)
 	}
-	in, interruptible := s.(knn.Interruptible)
-	if interruptible {
-		in.SetInterrupt(func() bool { return ctx.Err() != nil })
-	}
+	ps.arm(ctx)
 	start := time.Now()
 	if op.isRange {
-		res.Results = s.(knn.RangeMethod).Range(op.q, op.radius)
+		ps.buf = ps.sess.(knn.RangeMethod).RangeAppend(op.q, op.radius, ps.buf[:0])
 	} else {
-		res.Results = s.KNN(op.q, op.k)
+		ps.buf = ps.sess.KNNAppend(op.q, op.k, ps.buf[:0])
 	}
 	res.Latency = time.Since(start)
-	if interruptible {
-		in.SetInterrupt(nil)
-	}
+	ps.disarm()
 	if err := ctx.Err(); err != nil {
 		// The scan may have been cut short; drop the partial answer, as
 		// KNN and Range do.
-		res.Results = nil
 		return fail(err)
 	}
+	res.Results = make([]Result, len(ps.buf))
+	copy(res.Results, ps.buf)
 	if op.isRange {
 		db.stats.recordRange(res.Latency)
 	} else {

@@ -12,6 +12,49 @@ import (
 	"rnknn/internal/planner"
 )
 
+// pooledSession wraps one core.Session with the per-session state the DB
+// layer reuses across queries: the context-cancellation closure (created
+// once at manufacture, so arming the interrupt hook per query allocates
+// nothing) and a worker-local result buffer for the copy-at-the-boundary
+// paths (KNN, Batch).
+type pooledSession struct {
+	sess core.Session
+	// in is the session's interrupt hook, nil when the method's scans are
+	// not interruptible.
+	in knn.Interruptible
+	// ctx is the context check reads; set by arm, cleared by disarm.
+	ctx   context.Context
+	check func() bool
+	// buf is scratch for queries whose results are copied into an
+	// exact-size slice at the API boundary.
+	buf []Result
+}
+
+func newPooledSession(s core.Session) *pooledSession {
+	ps := &pooledSession{sess: s}
+	ps.in, _ = s.(knn.Interruptible)
+	ps.check = func() bool { return ps.ctx != nil && ps.ctx.Err() != nil }
+	return ps
+}
+
+// arm installs the context-cancellation interrupt for one query; disarm
+// removes it. Both are no-ops for non-interruptible methods.
+func (ps *pooledSession) arm(ctx context.Context) {
+	if ps.in == nil {
+		return
+	}
+	ps.ctx = ctx
+	ps.in.SetInterrupt(ps.check)
+}
+
+func (ps *pooledSession) disarm() {
+	if ps.in == nil {
+		return
+	}
+	ps.in.SetInterrupt(nil)
+	ps.ctx = nil
+}
+
 // sessionPool hands out single-goroutine query sessions of one method kind.
 // Sessions hold the method's search state (distance arrays, heaps, per-
 // session oracle state), so pooling them is what makes unbounded concurrent
@@ -35,18 +78,22 @@ func newSessionPool(eng *core.Engine, kind core.MethodKind) *sessionPool {
 
 // get returns a session rebound to b, manufacturing one when the pool is
 // empty.
-func (p *sessionPool) get(b *core.Binding) (core.Session, error) {
+func (p *sessionPool) get(b *core.Binding) (*pooledSession, error) {
 	p.gets.Add(1)
-	if s, ok := p.pool.Get().(core.Session); ok {
-		s.Rebind(b)
-		return s, nil
+	if ps, ok := p.pool.Get().(*pooledSession); ok {
+		ps.sess.Rebind(b)
+		return ps, nil
 	}
-	return p.eng.NewSession(p.kind, b)
+	s, err := p.eng.NewSession(p.kind, b)
+	if err != nil {
+		return nil, err
+	}
+	return newPooledSession(s), nil
 }
 
-func (p *sessionPool) put(s core.Session) {
+func (p *sessionPool) put(ps *pooledSession) {
 	p.puts.Add(1)
-	p.pool.Put(s)
+	p.pool.Put(ps)
 }
 
 // queryOpts collects per-query options.
@@ -56,25 +103,38 @@ type queryOpts struct {
 	category  string
 }
 
-// QueryOption configures one KNN or Range call.
-type QueryOption func(*queryOpts)
+// QueryOption configures one KNN or Range call. It is a plain value (not a
+// closure): building and applying options never touches the heap, which
+// keeps the KNNAppend/RangeAppend hot paths allocation-free.
+type QueryOption struct {
+	method      Method
+	methodSet   bool
+	category    string
+	categorySet bool
+}
 
 // WithMethod selects the method answering this query (default: the DB's
 // first enabled method).
 func WithMethod(m Method) QueryOption {
-	return func(o *queryOpts) { o.method = m; o.methodSet = true }
+	return QueryOption{method: m, methodSet: true}
 }
 
 // WithCategory selects the object category this query searches (default
 // DefaultCategory).
 func WithCategory(name string) QueryOption {
-	return func(o *queryOpts) { o.category = name }
+	return QueryOption{category: name, categorySet: true}
 }
 
 func (db *DB) applyOpts(opts []QueryOption) queryOpts {
 	qo := queryOpts{method: db.methods[0], category: DefaultCategory}
 	for _, o := range opts {
-		o(&qo)
+		if o.methodSet {
+			qo.method = o.method
+			qo.methodSet = true
+		}
+		if o.categorySet {
+			qo.category = o.category
+		}
 	}
 	return qo
 }
@@ -173,21 +233,20 @@ func (db *DB) KNN(ctx context.Context, q int32, k int, opts ...QueryOption) ([]R
 		return nil, err
 	}
 	m := db.resolveMethod(qo.method, k, b)
-	sess, err := db.pools[m].get(b)
+	ps, err := db.pools[m].get(b)
 	if err != nil {
 		return nil, err
 	}
-	in, interruptible := sess.(knn.Interruptible)
-	if interruptible {
-		in.SetInterrupt(func() bool { return ctx.Err() != nil })
-	}
+	ps.arm(ctx)
 	start := time.Now()
-	res := sess.KNN(q, k)
+	// The query runs allocation-free into the session's scratch buffer;
+	// the one allocation is the exact-size copy handed to the caller.
+	ps.buf = ps.sess.KNNAppend(q, k, ps.buf[:0])
 	elapsed := time.Since(start)
-	if interruptible {
-		in.SetInterrupt(nil)
-	}
-	db.pools[m].put(sess)
+	ps.disarm()
+	res := make([]Result, len(ps.buf))
+	copy(res, ps.buf)
+	db.pools[m].put(ps)
 	if err := ctx.Err(); err != nil {
 		// The scan may have been cut short; the partial answer is not
 		// returned.
@@ -195,6 +254,46 @@ func (db *DB) KNN(ctx context.Context, q int32, k int, opts ...QueryOption) ([]R
 	}
 	db.recordKNN(m, k, b, elapsed)
 	return res, nil
+}
+
+// KNNAppend answers the same query as KNN but appends the results to dst
+// and returns the extended slice — the zero-allocation form of the public
+// API: a caller reusing its buffer across queries (one buffer per
+// goroutine, like any append target) pays no per-query heap allocation on
+// a warm DB, because the pooled session's search state is reused and
+// result storage is caller-owned. Identical validation, method resolution,
+// cancellation, and Stats/planner recording; on error, dst is returned
+// unextended.
+func (db *DB) KNNAppend(ctx context.Context, q int32, k int, dst []Result, opts ...QueryOption) ([]Result, error) {
+	qo := db.applyOpts(opts)
+	if k <= 0 {
+		return dst, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if err := db.checkKNNMethod(qo.method); err != nil {
+		return dst, err
+	}
+	b, err := db.checkQuery(ctx, q, qo)
+	if err != nil {
+		return dst, err
+	}
+	m := db.resolveMethod(qo.method, k, b)
+	ps, err := db.pools[m].get(b)
+	if err != nil {
+		return dst, err
+	}
+	ps.arm(ctx)
+	start := time.Now()
+	mark := len(dst)
+	dst = ps.sess.KNNAppend(q, k, dst)
+	elapsed := time.Since(start)
+	ps.disarm()
+	db.pools[m].put(ps)
+	if err := ctx.Err(); err != nil {
+		// Drop the partial answer, as KNN does.
+		return dst[:mark], err
+	}
+	db.recordKNN(m, k, b, elapsed)
+	return dst, nil
 }
 
 // recordKNN lands a completed kNN query in the per-method counters and
@@ -224,23 +323,58 @@ func (db *DB) Range(ctx context.Context, q int32, radius Dist, opts ...QueryOpti
 	if err != nil {
 		return nil, err
 	}
-	sess, err := db.pools[INE].get(b)
+	ps, err := db.pools[INE].get(b)
 	if err != nil {
 		return nil, err
 	}
-	rm := sess.(knn.RangeMethod)
-	in := sess.(knn.Interruptible)
-	in.SetInterrupt(func() bool { return ctx.Err() != nil })
+	rm := ps.sess.(knn.RangeMethod)
+	ps.arm(ctx)
 	start := time.Now()
-	res := rm.Range(q, radius)
+	ps.buf = rm.RangeAppend(q, radius, ps.buf[:0])
 	elapsed := time.Since(start)
-	in.SetInterrupt(nil)
-	db.pools[INE].put(sess)
+	ps.disarm()
+	res := make([]Result, len(ps.buf))
+	copy(res, ps.buf)
+	db.pools[INE].put(ps)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	db.stats.recordRange(elapsed)
 	return res, nil
+}
+
+// RangeAppend answers the same query as Range but appends the results to
+// dst and returns the extended slice — the zero-allocation form, mirroring
+// KNNAppend. On error, dst is returned unextended.
+func (db *DB) RangeAppend(ctx context.Context, q int32, radius Dist, dst []Result, opts ...QueryOption) ([]Result, error) {
+	qo := db.applyOpts(opts)
+	if radius < 0 {
+		return dst, fmt.Errorf("%w: radius=%d", ErrBadRadius, radius)
+	}
+	if err := db.checkRangeMethod(qo); err != nil {
+		return dst, err
+	}
+	b, err := db.checkQuery(ctx, q, qo)
+	if err != nil {
+		return dst, err
+	}
+	ps, err := db.pools[INE].get(b)
+	if err != nil {
+		return dst, err
+	}
+	rm := ps.sess.(knn.RangeMethod)
+	ps.arm(ctx)
+	start := time.Now()
+	mark := len(dst)
+	dst = rm.RangeAppend(q, radius, dst)
+	elapsed := time.Since(start)
+	ps.disarm()
+	db.pools[INE].put(ps)
+	if err := ctx.Err(); err != nil {
+		return dst[:mark], err
+	}
+	db.stats.recordRange(elapsed)
+	return dst, nil
 }
 
 // checkRangeMethod validates the method option of a range-style query:

@@ -50,23 +50,18 @@ func (db *DB) KNNSeq(ctx context.Context, q int32, k int, opts ...QueryOption) i
 			return
 		}
 		m := db.resolveMethod(qo.method, k, b)
-		sess, err := db.pools[m].get(b)
+		ps, err := db.pools[m].get(b)
 		if err != nil {
 			yield(Result{}, err)
 			return
 		}
-		in, interruptible := sess.(knn.Interruptible)
-		if interruptible {
-			in.SetInterrupt(func() bool { return ctx.Err() != nil })
-		}
+		ps.arm(ctx)
 		// The deferred release covers every exit: normal completion, early
 		// consumer break, the error yields below, and panics in the
 		// consumer's loop body unwinding through this frame.
 		defer func() {
-			if interruptible {
-				in.SetInterrupt(nil)
-			}
-			db.pools[m].put(sess)
+			ps.disarm()
+			db.pools[m].put(ps)
 		}()
 
 		consumerDone := false
@@ -75,7 +70,7 @@ func (db *DB) KNNSeq(ctx context.Context, q int32, k int, opts ...QueryOption) i
 		// inflate Stats or poison the planner's latency EWMAs.
 		var elapsed time.Duration
 		segment := time.Now()
-		knn.StreamKNN(sess, q, k, func(r knn.Result) bool {
+		knn.StreamKNN(ps.sess, q, k, func(r knn.Result) bool {
 			elapsed += time.Since(segment)
 			defer func() { segment = time.Now() }()
 			// The interrupt hook stops the scan between results; checking

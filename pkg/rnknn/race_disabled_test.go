@@ -1,0 +1,7 @@
+//go:build !race
+
+package rnknn
+
+// raceEnabled reports whether the race detector is active in this build
+// (see race_enabled_test.go).
+const raceEnabled = false
