@@ -11,11 +11,17 @@
 // skipped) and runs them all through db.Batch, printing per-query latency:
 //
 //	knnquery -network NW -method auto -k 10 -batch queries.txt
+//
+// -json switches stdout to the serving layer's wire encoding (one
+// serve.KNNResponse object, or a serve.BatchResponse in batch mode), so
+// scripts parse the same shapes whether they query the binary or a running
+// rnknnd.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ import (
 	"rnknn/internal/cliutil"
 	"rnknn/internal/gen"
 	"rnknn/internal/graph"
+	"rnknn/internal/serve"
 	"rnknn/pkg/rnknn"
 )
 
@@ -39,6 +46,7 @@ func main() {
 		batch   = flag.String("batch", "", "file of query vertices (one per line) to run through db.Batch")
 		workers = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
 		timeW   = flag.Bool("traveltime", false, "use travel-time weights")
+		asJSON  = flag.Bool("json", false, "print results as JSON (the rnknnd wire encoding)")
 	)
 	flag.Parse()
 
@@ -78,13 +86,15 @@ func main() {
 	}
 	buildTime := time.Since(start)
 
-	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
-	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
-	fmt.Printf("objects: %d (density %g)\n", numObjects, *density)
-	fmt.Printf("method %s built in %s\n", m, buildTime.Round(time.Millisecond))
+	if !*asJSON {
+		numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
+		fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
+		fmt.Printf("objects: %d (density %g)\n", numObjects, *density)
+		fmt.Printf("method %s built in %s\n", m, buildTime.Round(time.Millisecond))
+	}
 
 	if *batch != "" {
-		runBatch(db, m, *batch, *k, *workers)
+		runBatch(db, m, *batch, *k, *workers, *asJSON)
 		return
 	}
 
@@ -92,7 +102,7 @@ func main() {
 	if qv < 0 || int(qv) >= g.NumVertices() {
 		qv = int32(g.NumVertices() / 2)
 	}
-	if m == rnknn.MethodAuto {
+	if m == rnknn.MethodAuto && !*asJSON {
 		plan, err := db.Explain(qv, *k, rnknn.WithMethod(m))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "explain:", err)
@@ -101,32 +111,53 @@ func main() {
 		fmt.Printf("planner: %s (%s)\n", plan.Method, plan.Reason)
 	}
 	start = time.Now()
-	results, err := db.KNN(context.Background(), qv, *k, rnknn.WithMethod(m))
+	results, epoch, err := db.KNNPinned(context.Background(), qv, *k, rnknn.WithMethod(m))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "query:", err)
 		os.Exit(1)
 	}
 	queryTime := time.Since(start)
 
-	fmt.Printf("query from vertex %d took %s\n", qv, queryTime)
-	for i, r := range results {
-		fmt.Printf("  %2d. vertex %-8d network distance %d\n", i+1, r.Vertex, r.Dist)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(serve.KNNResponse{
+			Query:         qv,
+			K:             *k,
+			Method:        m.String(),
+			Category:      rnknn.DefaultCategory,
+			Epoch:         epoch,
+			LatencyMicros: queryTime.Microseconds(),
+			Results:       serve.Results(results),
+		})
+	} else {
+		fmt.Printf("query from vertex %d took %s\n", qv, queryTime)
+		for i, r := range results {
+			fmt.Printf("  %2d. vertex %-8d network distance %d\n", i+1, r.Vertex, r.Dist)
+		}
 	}
 	want, err := db.BruteForceKNN(qv, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "verify:", err)
 		os.Exit(1)
 	}
-	if rnknn.SameResults(results, want) {
-		fmt.Println("verified against brute-force expansion: OK")
-	} else {
+	switch {
+	case rnknn.SameResults(results, want):
+		if !*asJSON {
+			fmt.Println("verified against brute-force expansion: OK")
+		}
+	case *asJSON:
+		fmt.Fprintln(os.Stderr, "MISMATCH vs brute force:", rnknn.FormatResults(want))
+		os.Exit(1)
+	default:
 		fmt.Println("MISMATCH vs brute force:", rnknn.FormatResults(want))
 	}
 }
 
 // runBatch reads query vertices from path and runs them as one db.Batch,
-// printing per-query latency and a throughput summary.
-func runBatch(db *rnknn.DB, m rnknn.Method, path string, k, workers int) {
+// printing per-query latency and a throughput summary (or, with -json, the
+// rnknnd /batch wire encoding).
+func runBatch(db *rnknn.DB, m rnknn.Method, path string, k, workers int, asJSON bool) {
 	vertices, err := readVertices(path, db.Graph().NumVertices())
 	if err != nil {
 		usageExit("-batch: %v", err)
@@ -144,6 +175,23 @@ func runBatch(db *rnknn.DB, m rnknn.Method, path string, k, workers int) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "batch:", err)
 		os.Exit(1)
+	}
+	if asJSON {
+		resp := serve.BatchResponse{Results: make([]serve.BatchResultJSON, len(results))}
+		for i, r := range results {
+			out := serve.BatchResultJSON{Query: r.Query, LatencyMicros: r.Latency.Microseconds()}
+			if r.Err != nil {
+				out.Error = r.Err.Error()
+			} else {
+				out.Method = r.Method.String()
+				out.Results = serve.Results(r.Results)
+			}
+			resp.Results[i] = out
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+		return
 	}
 	var sum time.Duration
 	failed := 0

@@ -1,0 +1,452 @@
+// Command loadgen drives a running rnknnd with a Zipf-skewed query mix and
+// reports an SLO summary — the serving-side counterpart of the library
+// benchmarks, emitting BENCH_serve.json for the per-PR trajectory.
+//
+// Open-loop (constant arrival rate, the service-level view) at 200 RPS:
+//
+//	loadgen -addr http://localhost:8080 -rps 200 -duration 10s -zipf 1.0
+//
+// Closed-loop (back-to-back workers, the capacity view):
+//
+//	loadgen -mode closed -workers 32 -duration 10s
+//
+// A fraction of requests can be object churn (POST /objects/insert|remove),
+// exercising the server's epoch-keyed cache invalidation:
+//
+//	loadgen -rps 200 -churn 0.05
+//
+// The report records p50/p99/p999 read latency (HDR-style histogram),
+// achieved vs target RPS, the server's cache-hit ratio over the run, and
+// shed/error counts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rnknn/internal/cliutil"
+	"rnknn/internal/loadtest"
+	"rnknn/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "rnknnd base URL")
+		mode     = flag.String("mode", "open", "open (target arrival rate) or closed (back-to-back workers)")
+		rps      = flag.Float64("rps", 200, "open-loop target requests per second (> 0)")
+		workers  = flag.Int("workers", 64, "closed-loop workers / open-loop max outstanding requests")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		zipfS    = flag.Float64("zipf", 1.0, "Zipf exponent of the query-vertex skew (0 = uniform)")
+		hot      = flag.Int("hot", 4096, "query-vertex pool size (capped at |V|; the Zipf ranks map onto it)")
+		kmix     = flag.String("kmix", "10:1", "k distribution as k:weight[,k:weight...]")
+		churn    = flag.Float64("churn", 0, "fraction of requests that are object mutations in [0,1)")
+		category = flag.String("category", "default", "object category to query and churn")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		out      = flag.String("out", "BENCH_serve.json", "report path (- for stdout only)")
+	)
+	flag.Parse()
+
+	if *rps <= 0 {
+		usageExit("-rps must be > 0, got %g", *rps)
+	}
+	if *workers <= 0 {
+		usageExit("-workers must be > 0, got %d", *workers)
+	}
+	if *duration <= 0 {
+		usageExit("-duration must be > 0, got %s", *duration)
+	}
+	if *churn < 0 || *churn >= 1 {
+		usageExit("-churn must be in [0,1), got %g", *churn)
+	}
+	if *zipfS < 0 {
+		usageExit("-zipf must be >= 0, got %g", *zipfS)
+	}
+	if *mode != "open" && *mode != "closed" {
+		usageExit("-mode must be open or closed, got %q", *mode)
+	}
+	ks, kweights, err := parseKMix(*kmix)
+	if err != nil {
+		usageExit("-kmix: %v", err)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	stats0, err := fetchStats(client, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: cannot reach %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	numVertices := stats0.Graph.NumVertices
+	if numVertices == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %s reports an empty graph\n", *addr)
+		os.Exit(1)
+	}
+	pool := *hot
+	if pool > numVertices {
+		pool = numVertices
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	// The hot set is a fixed random subset of the vertex space; Zipf rank i
+	// maps to its i-th member, so rank 0 is the hottest vertex.
+	perm := rand.New(rand.NewSource(*seed)).Perm(numVertices)
+	hotVertices := make([]int32, pool)
+	for i := 0; i < pool; i++ {
+		hotVertices[i] = int32(perm[i])
+	}
+
+	g := &generator{
+		client:      client,
+		base:        strings.TrimRight(*addr, "/"),
+		category:    *category,
+		hotVertices: hotVertices,
+		ks:          ks,
+		kweights:    kweights,
+		zipfS:       *zipfS,
+		churnRatio:  *churn,
+		numVertices: numVertices,
+	}
+
+	fmt.Printf("loadgen: %s mode against %s (|V|=%d, pool %d, zipf %g, kmix %s, churn %g) for %s\n",
+		*mode, *addr, numVertices, pool, *zipfS, *kmix, *churn, *duration)
+	start := time.Now()
+	if *mode == "open" {
+		g.runOpen(*rps, *workers, *duration, *seed)
+	} else {
+		g.runClosed(*workers, *duration, *seed)
+	}
+	elapsed := time.Since(start)
+	stats1, err := fetchStats(client, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: final stats: %v\n", err)
+		os.Exit(1)
+	}
+
+	report := g.report(*mode, *rps, elapsed, stats0, stats1)
+	report.ZipfS = *zipfS
+	report.HotVertices = pool
+	report.KMix = *kmix
+	report.ChurnRatio = *churn
+	enc, _ := json.MarshalIndent(report, "", "  ")
+	fmt.Println(string(enc))
+	if *out != "-" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: wrote %s\n", *out)
+	}
+	if report.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// Report is the BENCH_serve.json schema: one open- or closed-loop run's
+// SLO summary.
+type Report struct {
+	Bench       string  `json:"bench"`
+	Mode        string  `json:"mode"`
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	DurationS   float64 `json:"duration_s"`
+	// Requests = Reads + ChurnOps (completed, any status); Shed counts 429
+	// answers, Errors transport failures and non-2xx non-429 statuses,
+	// DroppedTicks open-loop arrivals skipped because the outstanding
+	// window was full (0 when the target rate was sustained).
+	Requests     uint64 `json:"requests"`
+	Reads        uint64 `json:"reads"`
+	ChurnOps     uint64 `json:"churn_ops"`
+	Shed         uint64 `json:"shed"`
+	Errors       uint64 `json:"errors"`
+	DroppedTicks uint64 `json:"dropped_ticks"`
+	// Latency quantiles cover successful reads only, in microseconds.
+	P50Micros  int64 `json:"p50_us"`
+	P90Micros  int64 `json:"p90_us"`
+	P99Micros  int64 `json:"p99_us"`
+	P999Micros int64 `json:"p999_us"`
+	MeanMicros int64 `json:"mean_us"`
+	MaxMicros  int64 `json:"max_us"`
+	// CacheHitRatio is hits/(hits+misses) from the server's counters over
+	// this run; CachedResponseRatio is the client-observed fraction of read
+	// answers served without a search (cache hit or coalesced).
+	CacheHitRatio       float64 `json:"cache_hit_ratio"`
+	CachedResponseRatio float64 `json:"cached_response_ratio"`
+	Coalesced           uint64  `json:"coalesced"`
+	ZipfS               float64 `json:"zipf_s"`
+	HotVertices         int     `json:"hot_vertices"`
+	KMix                string  `json:"k_mix"`
+	ChurnRatio          float64 `json:"churn_ratio"`
+}
+
+// generator fires the request mix and accumulates client-side counters.
+type generator struct {
+	client      *http.Client
+	base        string
+	category    string
+	hotVertices []int32
+	ks          []int
+	kweights    []float64 // cumulative, normalized
+	zipfS       float64
+	churnRatio  float64
+	numVertices int
+
+	hist     loadtest.Histogram
+	reads    atomic.Uint64
+	cached   atomic.Uint64
+	churnOps atomic.Uint64
+	shed     atomic.Uint64
+	errors   atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// workerState is one goroutine's private randomness (Zipf tables are not
+// concurrency-safe).
+type workerState struct {
+	rng  *rand.Rand
+	zipf *loadtest.Zipf
+	// churnToggle alternates insert/remove so the object count stays near
+	// its starting level.
+	churnToggle bool
+}
+
+func (g *generator) newWorkerState(seed int64) *workerState {
+	rng := rand.New(rand.NewSource(seed))
+	return &workerState{rng: rng, zipf: loadtest.NewZipf(rng, g.zipfS, len(g.hotVertices))}
+}
+
+// runOpen fires requests at the target arrival rate: a ticker admits one
+// request per interval into a bounded outstanding window (maxOut); arrivals
+// that find the window full are dropped and counted rather than queued, so
+// a slow server cannot push the generator into coordinated omission.
+func (g *generator) runOpen(rps float64, maxOut int, d time.Duration, seed int64) {
+	interval := time.Duration(float64(time.Second) / rps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	sem := make(chan struct{}, maxOut)
+	var wg sync.WaitGroup
+	var states sync.Pool
+	var stateSeq atomic.Int64
+	states.New = func() any {
+		return g.newWorkerState(seed + 1000*stateSeq.Add(1))
+	}
+	deadline := time.Now().Add(d)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				st := states.Get().(*workerState)
+				g.fire(st)
+				states.Put(st)
+			}()
+		default:
+			g.dropped.Add(1)
+		}
+	}
+	wg.Wait()
+}
+
+// runClosed runs n workers back-to-back until the deadline.
+func (g *generator) runClosed(n int, d time.Duration, seed int64) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := g.newWorkerState(seed + 1000*int64(w))
+			for time.Now().Before(deadline) {
+				g.fire(st)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fire issues one request from the mix.
+func (g *generator) fire(st *workerState) {
+	if g.churnRatio > 0 && st.rng.Float64() < g.churnRatio {
+		g.fireChurn(st)
+		return
+	}
+	g.fireRead(st)
+}
+
+func (g *generator) fireRead(st *workerState) {
+	v := g.hotVertices[st.zipf.Sample()]
+	k := g.ks[sampleWeighted(st.rng, g.kweights)]
+	url := fmt.Sprintf("%s/knn?q=%d&k=%d&category=%s", g.base, v, k, g.category)
+	start := time.Now()
+	resp, err := g.client.Get(url)
+	lat := time.Since(start)
+	if err != nil {
+		g.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		g.shed.Add(1)
+		return
+	case resp.StatusCode != http.StatusOK:
+		g.errors.Add(1)
+		return
+	}
+	var kr serve.KNNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&kr); err != nil {
+		g.errors.Add(1)
+		return
+	}
+	g.reads.Add(1)
+	if kr.Cached {
+		g.cached.Add(1)
+	}
+	g.hist.Record(lat)
+}
+
+func (g *generator) fireChurn(st *workerState) {
+	endpoint := "/objects/insert"
+	if st.churnToggle {
+		endpoint = "/objects/remove"
+	}
+	st.churnToggle = !st.churnToggle
+	v := int32(st.rng.Intn(g.numVertices))
+	body, _ := json.Marshal(serve.ObjectsRequest{Category: g.category, Vertices: []int32{v}})
+	resp, err := g.client.Post(g.base+endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		g.errors.Add(1)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		g.errors.Add(1)
+		return
+	}
+	g.churnOps.Add(1)
+}
+
+func (g *generator) report(mode string, targetRPS float64, elapsed time.Duration, s0, s1 *serve.StatsResponse) *Report {
+	r := &Report{
+		Bench:        "serve",
+		Mode:         mode,
+		DurationS:    elapsed.Seconds(),
+		Reads:        g.reads.Load(),
+		ChurnOps:     g.churnOps.Load(),
+		Shed:         g.shed.Load(),
+		Errors:       g.errors.Load(),
+		DroppedTicks: g.dropped.Load(),
+		P50Micros:    g.hist.Quantile(0.50).Microseconds(),
+		P90Micros:    g.hist.Quantile(0.90).Microseconds(),
+		P99Micros:    g.hist.Quantile(0.99).Microseconds(),
+		P999Micros:   g.hist.Quantile(0.999).Microseconds(),
+		MeanMicros:   g.hist.Mean().Microseconds(),
+		MaxMicros:    g.hist.Max().Microseconds(),
+		Coalesced:    s1.Server.Coalesced - s0.Server.Coalesced,
+	}
+	if mode == "open" {
+		r.TargetRPS = targetRPS
+	}
+	r.Requests = r.Reads + r.ChurnOps
+	if elapsed > 0 {
+		r.AchievedRPS = float64(r.Requests+r.Shed) / elapsed.Seconds()
+	}
+	hits := s1.Server.CacheHits - s0.Server.CacheHits
+	misses := s1.Server.CacheMisses - s0.Server.CacheMisses
+	if hits+misses > 0 {
+		r.CacheHitRatio = float64(hits) / float64(hits+misses)
+	}
+	if r.Reads > 0 {
+		r.CachedResponseRatio = float64(g.cached.Load()) / float64(r.Reads)
+	}
+	return r
+}
+
+func fetchStats(client *http.Client, base string) (*serve.StatsResponse, error) {
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats: %s", resp.Status)
+	}
+	var s serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// parseKMix parses "k:weight[,k:weight...]" into values and a cumulative
+// normalized weight table.
+func parseKMix(s string) ([]int, []float64, error) {
+	var ks []int
+	var ws []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		k, err := strconv.Atoi(strings.TrimSpace(kv[0]))
+		if err != nil || k <= 0 {
+			return nil, nil, fmt.Errorf("%q: k must be a positive integer", part)
+		}
+		w := 1.0
+		if len(kv) == 2 {
+			w, err = strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+			if err != nil || w <= 0 {
+				return nil, nil, fmt.Errorf("%q: weight must be a positive number", part)
+			}
+		}
+		ks = append(ks, k)
+		ws = append(ws, w)
+	}
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("empty mix")
+	}
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	cum := make([]float64, len(ws))
+	acc := 0.0
+	for i, w := range ws {
+		acc += w / total
+		cum[i] = acc
+	}
+	return ks, cum, nil
+}
+
+// sampleWeighted draws an index from a cumulative normalized weight table.
+func sampleWeighted(rng *rand.Rand, cum []float64) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}
+
+func usageExit(format string, args ...any) {
+	cliutil.UsageExit("", format, args...)
+}

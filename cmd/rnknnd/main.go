@@ -1,0 +1,132 @@
+// Command rnknnd serves kNN queries over HTTP — the network front end of
+// the library, built on internal/serve's three load-shedding layers
+// (admission control, epoch-keyed result cache, request coalescing).
+//
+// Serve the default ~16k-vertex ladder network with the default methods:
+//
+//	rnknnd -addr :8080 -network NW -density 0.001
+//
+// Endpoints (all JSON):
+//
+//	GET  /knn?q=123&k=10[&method=auto][&category=default]
+//	GET  /range?q=123&radius=5000[&category=default]
+//	POST /batch            {"queries":[{"query":1,"k":10},{"query":2,"radius":5000}]}
+//	POST /objects/insert   {"category":"default","vertices":[7,9]}
+//	POST /objects/remove   {"category":"default","vertices":[7]}
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rnknn/internal/cliutil"
+	"rnknn/internal/gen"
+	"rnknn/internal/graph"
+	"rnknn/internal/serve"
+	"rnknn/pkg/rnknn"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		network     = flag.String("network", "NW", "ladder network name")
+		methodsFlag = flag.String("methods", "INE,IER-Dijk,Gtree", "comma-separated methods to build (see rnknn.MethodNames)")
+		density     = flag.Float64("density", 0.001, "uniform object density in (0,1] for the default category")
+		seed        = flag.Int64("seed", 42, "object placement seed")
+		timeW       = flag.Bool("traveltime", false, "use travel-time weights")
+		indexCache  = flag.String("indexcache", "", "directory for the index snapshot cache (skip rebuilds across restarts)")
+		maxInflight = flag.Int("max-inflight", 256, "admission limit: concurrent query requests before shedding 429s")
+		cacheSize   = flag.Int("cache-entries", 4096, "result cache capacity in entries (negative disables)")
+		cacheShards = flag.Int("cache-shards", 16, "result cache shard count")
+	)
+	flag.Parse()
+
+	if *density <= 0 || *density > 1 {
+		usageExit("-density must be in (0,1], got %g", *density)
+	}
+	var methods []rnknn.Method
+	for _, name := range strings.Split(*methodsFlag, ",") {
+		m, err := rnknn.ParseMethod(strings.TrimSpace(name))
+		if err != nil {
+			usageExit("-methods: %v", err)
+		}
+		if m == rnknn.MethodAuto {
+			usageExit("-methods: list concrete methods to build; requests pick auto per query")
+		}
+		methods = append(methods, m)
+	}
+	if len(methods) == 0 {
+		usageExit("-methods is empty")
+	}
+	spec, ok := gen.LadderSpec(*network)
+	if !ok {
+		usageExit("unknown network %q", *network)
+	}
+	g := gen.Network(spec)
+	if *timeW {
+		g = g.View(graph.TravelTime)
+	}
+
+	opts := []rnknn.Option{
+		rnknn.WithMethods(methods...),
+		rnknn.WithObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, *seed)),
+	}
+	if *indexCache != "" {
+		opts = append(opts, rnknn.WithIndexCache(*indexCache))
+	}
+	start := time.Now()
+	db, err := rnknn.Open(g, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
+	fmt.Printf("rnknnd: network %s |V|=%d |E|=%d (%s weights), %d objects, methods %v, opened in %s\n",
+		spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind, numObjects, db.Methods(), time.Since(start).Round(time.Millisecond))
+
+	srv := serve.New(db, serve.Config{
+		MaxInFlight:  *maxInflight,
+		CacheEntries: *cacheSize,
+		CacheShards:  *cacheShards,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("rnknnd: listening on %s (max in-flight %d, cache %d entries)\n", *addr, *maxInflight, *cacheSize)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("rnknnd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			os.Exit(1)
+		}
+	}
+	stats := srv.Stats()
+	fmt.Printf("rnknnd: served %d requests (%d shed, %d cache hits, %d coalesced)\n",
+		stats.Requests, stats.Shed, stats.CacheHits, stats.Coalesced)
+}
+
+func usageExit(format string, args ...any) {
+	cliutil.UsageExit("valid methods: "+strings.Join(rnknn.MethodNames(), ", "), format, args...)
+}

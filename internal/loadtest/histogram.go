@@ -1,0 +1,119 @@
+package loadtest
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram records durations into HDR-style buckets: one power-of-two
+// magnitude per row, subdivided into 32 linear sub-buckets, covering 1µs
+// to ~4398s with a worst-case quantile error of ~3% — the standard
+// trade-off for latency reporting, where the shape of the tail matters and
+// exact nanoseconds do not. Safe for concurrent Record from any number of
+// request goroutines.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [numMagnitudes * subBuckets]uint64
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+const (
+	// Durations are bucketed in microseconds; sub-microsecond samples land
+	// in the first bucket.
+	numMagnitudes = 32
+	subBuckets    = 32
+	subShiftBits  = 5 // log2(subBuckets)
+)
+
+// bucketIndex maps a duration in microseconds to its bucket.
+func bucketIndex(us uint64) int {
+	if us < subBuckets {
+		return int(us)
+	}
+	mag := bits.Len64(us) - subShiftBits // row: top 5 bits are the sub-bucket
+	sub := us >> uint(mag-1) & (subBuckets - 1)
+	idx := mag*subBuckets + int(sub)
+	if idx >= numMagnitudes*subBuckets {
+		return numMagnitudes*subBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns a representative duration (the bucket's lower bound)
+// in microseconds.
+func bucketValue(idx int) uint64 {
+	mag := idx / subBuckets
+	sub := uint64(idx % subBuckets)
+	if mag == 0 {
+		return sub
+	}
+	return (subBuckets + sub) << uint(mag-1)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := bucketIndex(uint64(d / time.Microsecond))
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean sample, 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the lower bound of the
+// bucket holding that rank, 0 when empty. Quantile(0.5) is the median.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count-1))
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if c > 0 && seen > rank {
+			return time.Duration(bucketValue(i)) * time.Microsecond
+		}
+	}
+	return h.max
+}

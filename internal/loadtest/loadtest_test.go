@@ -1,0 +1,119 @@
+package loadtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestZipfDistribution checks the sampler's empirical frequencies against
+// the analytic law for the exponents loadgen exposes — including s = 1.0,
+// which math/rand's Zipf cannot generate.
+func TestZipfDistribution(t *testing.T) {
+	const n, draws = 64, 200000
+	for _, s := range []float64{0, 0.5, 1.0, 1.5} {
+		z := NewZipf(rand.New(rand.NewSource(1)), s, n)
+		if z.N() != n {
+			t.Fatalf("s=%g: N=%d, want %d", s, z.N(), n)
+		}
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Sample()]++
+		}
+		total := 0.0
+		for i := 0; i < n; i++ {
+			total += 1.0 / math.Pow(float64(i+1), s)
+		}
+		// The head ranks have enough mass for a tight relative check.
+		for rank := 0; rank < 4; rank++ {
+			want := 1.0 / math.Pow(float64(rank+1), s) / total
+			got := float64(counts[rank]) / draws
+			if math.Abs(got-want) > 0.15*want+0.002 {
+				t.Errorf("s=%g rank %d: frequency %.4f, want %.4f", s, rank, got, want)
+			}
+		}
+		// Skew ordering: rank 0 must dominate the tail for s > 0.
+		if s > 0 && counts[0] <= counts[n-1] {
+			t.Errorf("s=%g: rank 0 count %d not above rank %d count %d", s, counts[0], n-1, counts[n-1])
+		}
+	}
+}
+
+// TestZipfDegenerate covers the n <= 1 guard.
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1.0, 0)
+	for i := 0; i < 10; i++ {
+		if got := z.Sample(); got != 0 {
+			t.Fatalf("Sample()=%d on single-rank sampler", got)
+		}
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the
+// quantiles land within the documented ~3% bucket resolution.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..10000 microseconds, once each: quantile q is ~q*10000µs.
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count=%d", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) * 0.94)
+		if got < lo || got > tc.want {
+			t.Errorf("Quantile(%g)=%v, want in [%v, %v]", tc.q, got, lo, tc.want)
+		}
+	}
+	if h.Max() != 10000*time.Microsecond {
+		t.Errorf("Max=%v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 4900*time.Microsecond || mean > 5100*time.Microsecond {
+		t.Errorf("Mean=%v, want ~5000µs", mean)
+	}
+}
+
+// TestHistogramEdges covers empty, zero/negative samples, and monotone
+// bucket boundaries.
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(0)
+	h.Record(-time.Second)
+	h.Record(500 * time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count=%d", h.Count())
+	}
+	if h.Quantile(1) != 0 {
+		t.Fatalf("all sub-µs samples: p100=%v", h.Quantile(1))
+	}
+	// Bucket values are nondecreasing and bucketIndex inverts onto a bucket
+	// whose lower bound does not exceed the sample.
+	prev := uint64(0)
+	for idx := 0; idx < numMagnitudes*subBuckets; idx++ {
+		v := bucketValue(idx)
+		if v < prev {
+			t.Fatalf("bucketValue(%d)=%d < bucketValue(%d)=%d", idx, v, idx-1, prev)
+		}
+		prev = v
+	}
+	for _, us := range []uint64{0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, 1 << 40} {
+		idx := bucketIndex(us)
+		if lb := bucketValue(idx); lb > us {
+			t.Errorf("bucketIndex(%d)=%d has lower bound %d > sample", us, idx, lb)
+		}
+	}
+}

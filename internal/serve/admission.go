@@ -1,0 +1,43 @@
+package serve
+
+import "sync/atomic"
+
+// admission is the first load-shedding layer: a counting semaphore over the
+// query endpoints. A request either takes a slot immediately or is refused
+// — there is no queue, so under saturation the server answers 429 in
+// microseconds instead of building an unbounded backlog whose every entry
+// would time out anyway (fail fast, shed early). Mutation endpoints bypass
+// admission: object churn is the invalidation path and must keep landing
+// even when the read path is saturated — the separate-paths co-design the
+// epoch machinery exists for.
+type admission struct {
+	slots chan struct{}
+	shed  atomic.Uint64
+}
+
+func newAdmission(maxInFlight int) *admission {
+	if maxInFlight <= 0 {
+		maxInFlight = 1
+	}
+	return &admission{slots: make(chan struct{}, maxInFlight)}
+}
+
+// tryAcquire takes a slot without blocking; false means saturated (the
+// caller answers 429) and is counted as shed.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		a.shed.Add(1)
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the slots currently held.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// max reports the semaphore capacity.
+func (a *admission) max() int { return cap(a.slots) }

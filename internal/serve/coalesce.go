@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"rnknn/pkg/rnknn"
+)
+
+// coalescer is the single-flight layer between the cache and the session
+// pools: concurrent requests for the same (vertex, k, category, epoch) run
+// one underlying query, and every waiter shares its answer. The epoch in
+// the key keeps sharing exact — two requests that observed different
+// epochs never coalesce, so a follower can only ever receive an answer at
+// least as fresh as the epoch it looked up.
+type coalescer struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*inflightCall
+	// coalesced counts followers (requests that waited instead of running).
+	coalesced atomic.Uint64
+}
+
+// inflightCall is one leader's execution; done closes when res/epoch/err
+// are final.
+type inflightCall struct {
+	done  chan struct{}
+	res   []rnknn.Result
+	epoch uint64
+	err   error
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{calls: map[cacheKey]*inflightCall{}}
+}
+
+// do runs fn for key, unless an identical call is already in flight, in
+// which case it waits for that call's answer instead. Returns the results,
+// the epoch the search pinned, and whether this request was a follower.
+// A follower whose own ctx ends while waiting returns ctx's error — one
+// slow leader must not pin an impatient follower past its deadline — but
+// the leader itself always publishes to the remaining waiters.
+func (co *coalescer) do(ctx context.Context, key cacheKey, fn func() ([]rnknn.Result, uint64, error)) ([]rnknn.Result, uint64, bool, error) {
+	co.mu.Lock()
+	if c, ok := co.calls[key]; ok {
+		co.mu.Unlock()
+		co.coalesced.Add(1)
+		select {
+		case <-c.done:
+			return c.res, c.epoch, true, c.err
+		case <-ctx.Done():
+			return nil, 0, true, ctx.Err()
+		}
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	co.calls[key] = c
+	co.mu.Unlock()
+
+	c.res, c.epoch, c.err = fn()
+	co.mu.Lock()
+	delete(co.calls, key)
+	co.mu.Unlock()
+	close(c.done)
+	return c.res, c.epoch, false, c.err
+}

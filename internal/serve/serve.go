@@ -1,0 +1,401 @@
+// Package serve is the network serving layer over rnknn.DB: the HTTP/JSON
+// front end cmd/rnknnd mounts, turning the in-process query library into a
+// service that survives heavy traffic by shedding load in three layers,
+// cheapest first:
+//
+//	request ──► admission ──► result cache ──► coalescer ──► session pools
+//	             (429 when     (hit: no          (follower:    (db.KNNPinned)
+//	              saturated)    session runs)     wait, share)
+//
+// Admission is a no-queue counting semaphore: a saturated server answers
+// 429 immediately instead of building a backlog. The result cache is a
+// sharded LRU keyed on (vertex, k, category, epoch) — the epoch comes from
+// the dynamic object store's versioning, so object churn invalidates every
+// affected entry exactly and for free: mutation advances the epoch, lookup
+// keys computed from the live epoch can no longer reach entries stamped
+// with the old one, and the orphaned entries age out of the LRU. There are
+// no TTLs and no invalidation messages, and a cached answer can never be
+// stale: an entry stamped with epoch E is only ever served to a reader that
+// observed epoch E. The coalescer is a single-flight layer under the cache:
+// identical concurrent misses run one search and share its answer.
+//
+// Queries and mutations take separate paths on purpose (the HTAP lesson:
+// co-designed, not shared): /objects/insert and /objects/remove bypass
+// admission and the cache entirely — churn must keep landing even when the
+// read path is saturated, because churn is what retires stale cache
+// entries.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rnknn/pkg/rnknn"
+)
+
+// Config sizes the serving layers.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted query requests (/knn, /range,
+	// /batch); excess requests are answered 429 immediately. <= 0 means the
+	// default 256.
+	MaxInFlight int
+	// CacheEntries bounds the result cache (total entries across shards).
+	// 0 means the default 4096; negative disables caching.
+	CacheEntries int
+	// CacheShards is the shard count (rounded up to a power of two).
+	// <= 0 means the default 16.
+	CacheShards int
+	// MaxBatch bounds the queries accepted in one /batch request. <= 0
+	// means the default 4096.
+	MaxBatch int
+}
+
+const (
+	defaultMaxInFlight  = 256
+	defaultCacheEntries = 4096
+	defaultMaxBatch     = 4096
+)
+
+// Server serves one rnknn.DB over HTTP. Create with New, mount Handler.
+type Server struct {
+	db       *rnknn.DB
+	adm      *admission
+	cache    *resultCache
+	co       *coalescer
+	maxBatch int
+	requests atomic.Uint64
+	mux      *http.ServeMux
+	// gate, when non-nil, runs on the cache-miss path immediately before
+	// the underlying query — a test hook that lets the coalescing and
+	// admission tests hold queries in flight deterministically.
+	gate func()
+}
+
+// New builds a Server over db with the given sizing.
+func New(db *rnknn.DB, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = defaultMaxInFlight
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	s := &Server{
+		db:       db,
+		adm:      newAdmission(cfg.MaxInFlight),
+		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		co:       newCoalescer(),
+		maxBatch: cfg.MaxBatch,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /knn", s.admitted(s.handleKNN))
+	mux.HandleFunc("GET /range", s.admitted(s.handleRange))
+	mux.HandleFunc("POST /batch", s.admitted(s.handleBatch))
+	mux.HandleFunc("POST /objects/insert", s.handleObjects(s.db.InsertObjects))
+	mux.HandleFunc("POST /objects/remove", s.handleObjects(s.db.RemoveObjects))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the serving layer's counters (the GET /stats "server"
+// section).
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		InFlight:       s.adm.inFlight(),
+		MaxInFlight:    s.adm.max(),
+		Requests:       s.requests.Load(),
+		Shed:           s.adm.shed.Load(),
+		CacheHits:      s.cache.hits.Load(),
+		CacheMisses:    s.cache.misses.Load(),
+		CacheEvictions: s.cache.evictions.Load(),
+		CacheEntries:   s.cache.len(),
+		Coalesced:      s.co.coalesced.Load(),
+	}
+}
+
+// admitted wraps a query handler in the admission semaphore: acquire or
+// answer 429 now, never queue.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.adm.tryAcquire() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "server saturated: max in-flight queries reached"})
+			return
+		}
+		defer s.adm.release()
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.db.Graph()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Server: s.Stats(),
+		Graph:  GraphJSON{NumVertices: g.NumVertices(), NumEdges: g.NumEdges() / 2, Weights: g.Kind.String()},
+		DB:     s.db.Stats(),
+	})
+}
+
+// handleKNN is the cached read path: epoch-keyed lookup, then single-flight
+// execution on miss. The answer's epoch stamp always names the exact object
+// set it was computed from.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	qv, err := intParam(r, "q", -1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	methodName, method, err := methodParam(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	category := r.URL.Query().Get("category")
+	if category == "" {
+		category = rnknn.DefaultCategory
+	}
+	// The lookup key pins the epoch the reader observed: a hit is an answer
+	// computed from exactly that object set.
+	epoch, err := s.db.Epoch(category)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	key := cacheKey{vertex: int32(qv), k: int32(k), epoch: epoch, category: category}
+	if res, ok := s.cache.get(key); ok {
+		s.writeKNN(w, key, methodName, res, true, start)
+		return
+	}
+	res, pinned, shared, err := s.co.do(r.Context(), key, func() ([]rnknn.Result, uint64, error) {
+		if s.gate != nil {
+			s.gate()
+		}
+		res, pinned, err := s.db.KNNPinned(r.Context(), int32(qv), k,
+			rnknn.WithMethod(method), rnknn.WithCategory(category))
+		if err == nil {
+			// Store under the epoch the search pinned — possibly newer than
+			// the lookup epoch when churn raced this request; never older.
+			s.cache.put(cacheKey{vertex: int32(qv), k: int32(k), epoch: pinned, category: category}, res)
+		}
+		return res, pinned, err
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	key.epoch = pinned
+	s.writeKNN(w, key, methodName, res, shared, start)
+}
+
+func (s *Server) writeKNN(w http.ResponseWriter, key cacheKey, method string, res []rnknn.Result, cached bool, start time.Time) {
+	writeJSON(w, http.StatusOK, KNNResponse{
+		Query:         key.vertex,
+		K:             int(key.k),
+		Method:        method,
+		Category:      key.category,
+		Epoch:         key.epoch,
+		Cached:        cached,
+		LatencyMicros: time.Since(start).Microseconds(),
+		Results:       Results(res),
+	})
+}
+
+// handleRange runs a range query. Range answers are not cached: the radius
+// axis makes the key space unbounded and real workloads rarely repeat an
+// exact radius; the epoch still stamps the response for observability.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	qv, err := intParam(r, "q", -1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	radius, err := intParam(r, "radius", -1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	category := r.URL.Query().Get("category")
+	if category == "" {
+		category = rnknn.DefaultCategory
+	}
+	epoch, err := s.db.Epoch(category)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.db.Range(r.Context(), int32(qv), rnknn.Dist(radius), rnknn.WithCategory(category))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RangeResponse{
+		Query:         int32(qv),
+		Radius:        int64(radius),
+		Category:      category,
+		Epoch:         epoch,
+		LatencyMicros: time.Since(start).Microseconds(),
+		Results:       Results(res),
+	})
+}
+
+// handleBatch decodes a mixed kNN/range batch and runs it as one db.Batch
+// (bounded worker pool, one session checkout per worker per method).
+// Batches bypass the result cache: they are the bulk path.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad batch body: " + err.Error()})
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "batch has no queries"})
+		return
+	}
+	if len(req.Queries) > s.maxBatch {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)})
+		return
+	}
+	b := s.db.Batch()
+	for i, q := range req.Queries {
+		var opts []rnknn.QueryOption
+		if q.Category != "" {
+			opts = append(opts, rnknn.WithCategory(q.Category))
+		}
+		if q.Method != "" {
+			m, err := rnknn.ParseMethod(q.Method)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("query %d: %v", i, err)})
+				return
+			}
+			opts = append(opts, rnknn.WithMethod(m))
+		}
+		switch {
+		case q.Radius != nil && q.K > 0:
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("query %d: both k and radius set", i)})
+			return
+		case q.Radius != nil:
+			b.AddRange(q.Query, rnknn.Dist(*q.Radius), opts...)
+		default:
+			b.AddKNN(q.Query, q.K, opts...)
+		}
+	}
+	results, err := b.Run(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchResultJSON, len(results))}
+	for i, br := range results {
+		out := BatchResultJSON{Query: br.Query, LatencyMicros: br.Latency.Microseconds()}
+		if br.Err != nil {
+			out.Error = br.Err.Error()
+		} else {
+			out.Method = br.Method.String()
+			out.Results = Results(br.Results)
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleObjects wraps one mutation (InsertObjects or RemoveObjects). The
+// mutation path deliberately skips admission and the cache — see the
+// package comment.
+func (s *Server) handleObjects(mutate func(string, []int32) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req ObjectsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad objects body: " + err.Error()})
+			return
+		}
+		if req.Category == "" {
+			req.Category = rnknn.DefaultCategory
+		}
+		if err := mutate(req.Category, req.Vertices); err != nil {
+			writeError(w, err)
+			return
+		}
+		epoch, err := s.db.Epoch(req.Category)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		n, _ := s.db.NumObjects(req.Category)
+		writeJSON(w, http.StatusOK, ObjectsResponse{Category: req.Category, Epoch: epoch, NumObjects: n})
+	}
+}
+
+// intParam parses an integer query parameter; def < 0 makes it required.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		if def < 0 {
+			return 0, fmt.Errorf("missing required parameter %q", name)
+		}
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, v)
+	}
+	return n, nil
+}
+
+// methodParam parses the optional method parameter (default "Auto": the
+// planner picks among whatever methods the DB was opened with).
+func methodParam(r *http.Request) (string, rnknn.Method, error) {
+	v := r.URL.Query().Get("method")
+	if v == "" {
+		return rnknn.MethodAuto.String(), rnknn.MethodAuto, nil
+	}
+	m, err := rnknn.ParseMethod(v)
+	if err != nil {
+		return "", 0, err
+	}
+	return m.String(), m, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps library errors onto HTTP statuses: unknown categories are
+// 404, context expiry is 503 (the query was cut short, not invalid), and
+// everything else — the typed validation errors — is 400.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, rnknn.ErrUnknownCategory):
+		status = http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

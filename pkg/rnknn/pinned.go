@@ -1,0 +1,51 @@
+package rnknn
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// KNNPinned answers the same query as KNN and additionally reports the
+// epoch of the category snapshot the search pinned — read from the very
+// binding the query ran on, not re-read around the call. That atomicity is
+// what an exact result cache keyed on (vertex, k, category, epoch) needs: a
+// result stamped with epoch E was computed from exactly epoch E's object
+// set, so storing it under E can never serve an answer from one epoch to a
+// reader observing another, no matter how much churn raced the query. The
+// serving layer (internal/serve) is the intended caller; everything else
+// about validation, method resolution, cancellation, and Stats/planner
+// recording is identical to KNN.
+func (db *DB) KNNPinned(ctx context.Context, q int32, k int, opts ...QueryOption) ([]Result, uint64, error) {
+	qo := db.applyOpts(opts)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if err := db.checkKNNMethod(qo.method); err != nil {
+		return nil, 0, err
+	}
+	b, err := db.checkQuery(ctx, q, qo)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := db.resolveMethod(qo.method, k, b)
+	ps, err := db.pools[m].get(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	ps.arm(ctx)
+	start := time.Now()
+	ps.buf = ps.sess.KNNAppend(q, k, ps.buf[:0])
+	elapsed := time.Since(start)
+	ps.disarm()
+	res := make([]Result, len(ps.buf))
+	copy(res, ps.buf)
+	db.pools[m].put(ps)
+	if err := ctx.Err(); err != nil {
+		// The scan may have been cut short; the partial answer is not
+		// returned.
+		return nil, 0, err
+	}
+	db.recordKNN(m, k, b, elapsed)
+	return res, b.Epoch, nil
+}
