@@ -482,6 +482,60 @@ func sharedChurnDB(b *testing.B) (*api.DB, map[int][]int32) {
 	return churnDB.db, churnDB.sets
 }
 
+// monitorBenchOnce registers the sparse category BenchmarkMonitorRoute
+// monitors on the shared churn network (~110k vertices, ~55 objects — few
+// enough that the (k+1)-gap is wide, but well above k so the safe-region
+// bound is doing real work rather than trivially holding forever).
+var monitorBenchOnce sync.Once
+
+// BenchmarkMonitorRoute drives db.Monitor along a 512-step edge walk and
+// reports, beyond ns/op, the two numbers the continuous-query design is
+// about: ns/step and avoided-ratio — the fraction of steps the per-step
+// safe-region check answered without re-running a kNN search. CI folds
+// both into BENCH_pr.json (cmd/bench2json keeps extra ReportMetric units
+// in a "metrics" map), and the benchmark hard-fails if the ratio drops
+// below 60% so a regression in the drift accounting can't land silently.
+func BenchmarkMonitorRoute(b *testing.B) {
+	db, _ := sharedChurnDB(b)
+	g := db.Graph()
+	monitorBenchOnce.Do(func() {
+		if err := db.RegisterObjects("monitor", gen.Uniform(g, 0.0005, 43)); err != nil {
+			panic(err)
+		}
+	})
+	// A clustered route: an edge walk around the network's middle — the
+	// localized moving-query shape the safe-region check is built for.
+	route := make([]int32, 512)
+	route[0] = int32(g.NumVertices() / 2)
+	for i := 1; i < len(route); i++ {
+		targets, _ := g.Neighbors(route[i-1])
+		route[i] = targets[i%len(targets)]
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps, avoided int
+	for i := 0; i < b.N; i++ {
+		for u, err := range db.Monitor(ctx, route, 10, api.WithCategory("monitor"), api.WithMethod(api.Gtree)) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps++
+			if u.Refresh == api.MonitorRefreshNone {
+				avoided++
+			}
+		}
+	}
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	ratio := float64(avoided) / float64(steps)
+	b.ReportMetric(ratio, "avoided-ratio")
+	b.ReportMetric(float64(elapsed.Nanoseconds())/float64(steps), "ns/step")
+	if ratio < 0.6 {
+		b.Fatalf("safe-region check avoided only %.0f%% of %d steps, want >= 60%%", 100*ratio, steps)
+	}
+}
+
 // BenchmarkObjectChurn measures what one object change costs at 1k/10k/100k
 // objects: mode=incremental alternates a single-vertex InsertObjects /
 // RemoveObjects (the epoch-versioned delta path — copy-on-write clones plus

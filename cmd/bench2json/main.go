@@ -7,7 +7,9 @@
 // BenchmarkDBKNNAllocs) the bytes_per_op and allocs_per_op surfaces are
 // emitted alongside ns_per_op — a reported 0 stays an explicit 0 in the
 // JSON, which is what lets the trajectory pin the zero-allocation hot
-// paths.
+// paths. Custom b.ReportMetric units land in a "metrics" map keyed by
+// unit name (BenchmarkMonitorRoute reports avoided-ratio and ns/step
+// that way), so new per-benchmark surfaces need no parser changes.
 //
 //	go test -run '^$' -bench 'BenchmarkDB' -benchtime 1x -benchmem . | go run ./cmd/bench2json > BENCH_pr.json
 //
@@ -40,6 +42,9 @@ type record struct {
 	// BytesPerOp / AllocsPerOp mirror -benchmem output when present.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any other b.ReportMetric units keyed by unit name
+	// (BenchmarkMonitorRoute's avoided-ratio and ns/step land here).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Params holds key=value path segments of sub-benchmarks.
 	Params map[string]string `json:"params,omitempty"`
 }
@@ -106,6 +111,13 @@ func parseLine(line string) (record, bool) {
 		case "allocs/op":
 			a := v
 			r.AllocsPerOp = &a
+		case "MB/s":
+			// throughput is derivable from ns/op; skip rather than pollute
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	if !seen {

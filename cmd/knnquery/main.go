@@ -12,10 +12,18 @@
 //
 //	knnquery -network NW -method auto -k 10 -batch queries.txt
 //
+// Route mode replays a moving query: the file lists one route vertex per
+// line, and db.Monitor streams result-set deltas along it, printing each
+// step's refresh verdict and events plus the session's avoided/re-run
+// split — the offline twin of rnknnd's /monitor endpoint:
+//
+//	knnquery -network NW -k 10 -density 0.001 -route route.txt
+//
 // -json switches stdout to the serving layer's wire encoding (one
-// serve.KNNResponse object, or a serve.BatchResponse in batch mode), so
-// scripts parse the same shapes whether they query the binary or a running
-// rnknnd.
+// serve.KNNResponse object, a serve.BatchResponse in batch mode, or one
+// serve.MonitorStepJSON per line plus a serve.MonitorSummaryJSON in route
+// mode), so scripts parse the same shapes whether they query the binary or
+// a running rnknnd.
 package main
 
 import (
@@ -44,6 +52,7 @@ func main() {
 		density = flag.Float64("density", 0.001, "uniform object density in (0,1]")
 		q       = flag.Int("q", -1, "query vertex (default: middle vertex)")
 		batch   = flag.String("batch", "", "file of query vertices (one per line) to run through db.Batch")
+		route   = flag.String("route", "", "file of route vertices (one per line) to replay through db.Monitor")
 		workers = flag.Int("workers", 0, "batch worker pool size (default GOMAXPROCS)")
 		timeW   = flag.Bool("traveltime", false, "use travel-time weights")
 		asJSON  = flag.Bool("json", false, "print results as JSON (the rnknnd wire encoding)")
@@ -93,8 +102,15 @@ func main() {
 		fmt.Printf("method %s built in %s\n", m, buildTime.Round(time.Millisecond))
 	}
 
+	if *batch != "" && *route != "" {
+		usageExit("-batch and -route are mutually exclusive")
+	}
 	if *batch != "" {
 		runBatch(db, m, *batch, *k, *workers, *asJSON)
+		return
+	}
+	if *route != "" {
+		runRoute(db, m, *route, *k, *asJSON)
 		return
 	}
 
@@ -213,6 +229,62 @@ func runBatch(db *rnknn.DB, m rnknn.Method, path string, k, workers int, asJSON 
 			float64(ok)/wall.Seconds())
 	}
 	fmt.Println()
+}
+
+// runRoute replays a route file through db.Monitor, printing one line per
+// step (refresh verdict plus events) and the session's avoided/re-run
+// summary — or, with -json, one serve.MonitorStepJSON per step and a
+// closing serve.MonitorSummaryJSON.
+func runRoute(db *rnknn.DB, m rnknn.Method, path string, k int, asJSON bool) {
+	routeVertices, err := readVertices(path, db.Graph().NumVertices())
+	if err != nil {
+		usageExit("-route: %v", err)
+	}
+	if len(routeVertices) == 0 {
+		usageExit("-route: %s contains no route vertices", path)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	for u, err := range db.Monitor(context.Background(), routeVertices, k, rnknn.WithMethod(m)) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitor:", err)
+			os.Exit(1)
+		}
+		if asJSON {
+			_ = enc.Encode(serve.MonitorStep(u))
+			continue
+		}
+		fmt.Printf("  step %4d  vertex %-8d epoch %-3d %-8s", u.Step, u.Vertex, u.Epoch, u.Refresh)
+		for _, e := range u.Events {
+			switch e.Kind {
+			case rnknn.MonitorExit:
+				fmt.Printf("  -%d", e.Object)
+			case rnknn.MonitorEnter:
+				fmt.Printf("  +%d:%d", e.Object, e.Dist)
+			default:
+				fmt.Printf("  ~%d:%d", e.Object, e.Dist)
+			}
+		}
+		fmt.Println()
+	}
+	wall := time.Since(start)
+	ms := db.MonitorStats()
+	summary := serve.MonitorSummaryJSON{
+		K:         k,
+		Category:  rnknn.DefaultCategory,
+		Steps:     int(ms.Steps),
+		Avoided:   int(ms.Avoided),
+		Refreshes: int(ms.Refreshes),
+	}
+	if summary.Steps > 0 {
+		summary.AvoidedRatio = float64(summary.Avoided) / float64(summary.Steps)
+	}
+	if asJSON {
+		_ = enc.Encode(summary)
+		return
+	}
+	fmt.Printf("route: %d steps in %s; %d avoided by safe-region check, %d refreshes (%.0f%% avoided)\n",
+		summary.Steps, wall.Round(time.Microsecond), summary.Avoided, summary.Refreshes, 100*summary.AvoidedRatio)
 }
 
 // readVertices parses one query vertex per line; blank lines and lines

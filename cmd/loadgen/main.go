@@ -15,12 +15,22 @@
 //
 //	loadgen -rps 200 -churn 0.05
 //
+// Navigation mode (continuous queries): each worker is a moving client that
+// opens a /monitor SSE session on a server-side random-walk route, paced by
+// a per-session step interval, and replays the delta stream. The report
+// then carries the continuous-query economics — steps served, and the
+// fraction answered by the server's safe-region check without a search
+// ("queries avoided per step"):
+//
+//	loadgen -mode nav -workers 16 -steps 100 -step-interval 10ms
+//
 // The report records p50/p99/p999 read latency (HDR-style histogram),
 // achieved vs target RPS, the server's cache-hit ratio over the run, and
 // shed/error counts.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -43,7 +53,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "rnknnd base URL")
-		mode     = flag.String("mode", "open", "open (target arrival rate) or closed (back-to-back workers)")
+		mode     = flag.String("mode", "open", "open (target arrival rate), closed (back-to-back workers), or nav (monitor sessions)")
 		rps      = flag.Float64("rps", 200, "open-loop target requests per second (> 0)")
 		workers  = flag.Int("workers", 64, "closed-loop workers / open-loop max outstanding requests")
 		duration = flag.Duration("duration", 10*time.Second, "run length")
@@ -54,6 +64,9 @@ func main() {
 		category = flag.String("category", "default", "object category to query and churn")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		out      = flag.String("out", "BENCH_serve.json", "report path (- for stdout only)")
+
+		navSteps     = flag.Int("steps", 100, "nav mode: route length per monitor session")
+		stepInterval = flag.Duration("step-interval", 0, "nav mode: per-session step interval (0 = unpaced)")
 	)
 	flag.Parse()
 
@@ -72,8 +85,11 @@ func main() {
 	if *zipfS < 0 {
 		usageExit("-zipf must be >= 0, got %g", *zipfS)
 	}
-	if *mode != "open" && *mode != "closed" {
-		usageExit("-mode must be open or closed, got %q", *mode)
+	if *mode != "open" && *mode != "closed" && *mode != "nav" {
+		usageExit("-mode must be open, closed, or nav, got %q", *mode)
+	}
+	if *navSteps <= 0 {
+		usageExit("-steps must be > 0, got %d", *navSteps)
 	}
 	ks, kweights, err := parseKMix(*kmix)
 	if err != nil {
@@ -121,10 +137,13 @@ func main() {
 	fmt.Printf("loadgen: %s mode against %s (|V|=%d, pool %d, zipf %g, kmix %s, churn %g) for %s\n",
 		*mode, *addr, numVertices, pool, *zipfS, *kmix, *churn, *duration)
 	start := time.Now()
-	if *mode == "open" {
+	switch *mode {
+	case "open":
 		g.runOpen(*rps, *workers, *duration, *seed)
-	} else {
+	case "closed":
 		g.runClosed(*workers, *duration, *seed)
+	case "nav":
+		g.runNav(*workers, *duration, *navSteps, *stepInterval, *seed)
 	}
 	elapsed := time.Since(start)
 	stats1, err := fetchStats(client, *addr)
@@ -187,6 +206,14 @@ type Report struct {
 	HotVertices         int     `json:"hot_vertices"`
 	KMix                string  `json:"k_mix"`
 	ChurnRatio          float64 `json:"churn_ratio"`
+	// Nav mode (continuous queries): completed monitor sessions, route steps
+	// streamed, steps that re-ran a search server-side, and — the number the
+	// monitor subsystem exists for — the fraction of steps the safe-region
+	// check answered without any search ("queries avoided per step").
+	NavSessions    uint64  `json:"nav_sessions,omitempty"`
+	NavSteps       uint64  `json:"nav_steps,omitempty"`
+	NavRefreshes   uint64  `json:"nav_refreshes,omitempty"`
+	AvoidedPerStep float64 `json:"avoided_per_step,omitempty"`
 }
 
 // generator fires the request mix and accumulates client-side counters.
@@ -208,6 +235,12 @@ type generator struct {
 	shed     atomic.Uint64
 	errors   atomic.Uint64
 	dropped  atomic.Uint64
+
+	// nav-mode counters (see runNav).
+	navSessions  atomic.Uint64
+	navSteps     atomic.Uint64
+	navAvoided   atomic.Uint64
+	navRefreshes atomic.Uint64
 }
 
 // workerState is one goroutine's private randomness (Zipf tables are not
@@ -280,6 +313,120 @@ func (g *generator) runClosed(n int, d time.Duration, seed int64) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// runNav runs n concurrent moving clients: each opens a /monitor SSE
+// session on a server-side random walk from a hot vertex (the same skewed
+// start distribution the read mix uses), replays the delta stream, and
+// opens the next session when the route ends, until the deadline. The
+// per-session step interval is passed to the server, which paces the stream
+// like a vehicle advancing one edge per tick. When -churn is set, one
+// background mutator toggles objects so sessions also exercise epoch
+// refreshes mid-route.
+func (g *generator) runNav(n int, d time.Duration, steps int, stepInterval time.Duration, seed int64) {
+	deadline := time.Now().Add(d)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	if g.churnRatio > 0 {
+		churnEvery := stepInterval
+		if churnEvery <= 0 {
+			churnEvery = 50 * time.Millisecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := g.newWorkerState(seed + 999)
+			tick := time.NewTicker(churnEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					g.fireChurn(st)
+				}
+			}
+		}()
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := g.newWorkerState(seed + 1000*int64(w))
+			sess := 0
+			for time.Now().Before(deadline) {
+				g.fireMonitor(st, steps, stepInterval, seed+1000*int64(w)+int64(sess))
+				sess++
+			}
+		}(w)
+	}
+	go func() {
+		time.Sleep(time.Until(deadline))
+		close(done)
+	}()
+	wg.Wait()
+}
+
+// fireMonitor runs one monitor session end to end, counting the streamed
+// steps and their avoided/refresh split from the SSE events.
+func (g *generator) fireMonitor(st *workerState, steps int, stepInterval time.Duration, walkSeed int64) {
+	q := g.hotVertices[st.zipf.Sample()]
+	k := g.ks[sampleWeighted(st.rng, g.kweights)]
+	url := fmt.Sprintf("%s/monitor?q=%d&k=%d&steps=%d&seed=%d&interval_ms=%d&category=%s",
+		g.base, q, k, steps, walkSeed, stepInterval.Milliseconds(), g.category)
+	// Monitor sessions outlive the mix client's 10s timeout by design; a
+	// plain transport-level client reads the stream for as long as it runs.
+	resp, err := http.Get(url)
+	if err != nil {
+		g.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		g.shed.Add(1)
+		return
+	case resp.StatusCode != http.StatusOK:
+		g.errors.Add(1)
+		return
+	}
+	event := ""
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "step":
+				var step serve.MonitorStepJSON
+				if err := json.Unmarshal([]byte(data), &step); err != nil {
+					g.errors.Add(1)
+					return
+				}
+				g.navSteps.Add(1)
+				if step.Refresh == "none" {
+					g.navAvoided.Add(1)
+				} else {
+					g.navRefreshes.Add(1)
+				}
+			case "done":
+				sawDone = true
+			case "error":
+				g.errors.Add(1)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil || !sawDone {
+		g.errors.Add(1)
+		return
+	}
+	g.navSessions.Add(1)
 }
 
 // fire issues one request from the mix.
@@ -368,6 +515,12 @@ func (g *generator) report(mode string, targetRPS float64, elapsed time.Duration
 	r.Requests = r.Reads + r.ChurnOps
 	if elapsed > 0 {
 		r.AchievedRPS = float64(r.Requests+r.Shed) / elapsed.Seconds()
+	}
+	r.NavSessions = g.navSessions.Load()
+	r.NavSteps = g.navSteps.Load()
+	r.NavRefreshes = g.navRefreshes.Load()
+	if r.NavSteps > 0 {
+		r.AvoidedPerStep = float64(g.navAvoided.Load()) / float64(r.NavSteps)
 	}
 	hits := s1.Server.CacheHits - s0.Server.CacheHits
 	misses := s1.Server.CacheMisses - s0.Server.CacheMisses

@@ -1,0 +1,173 @@
+package monitor
+
+import (
+	"testing"
+
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+)
+
+// lineGraph is 0-1-2-3-4-5 with every edge weight 10 (both metrics):
+// drift accounting is then exact multiples of 10 and the safe-region
+// arithmetic is checkable by hand.
+func lineGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	x := []float64{0, 10, 20, 30, 40, 50}
+	y := make([]float64, 6)
+	b := graph.NewBuilder(6, x, y)
+	for v := int32(0); v < 5; v++ {
+		b.AddEdge(v, v+1, 10, 10)
+	}
+	return b.Build("line")
+}
+
+func TestTrackerSafeRegion(t *testing.T) {
+	g := lineGraph(t)
+	tr := New(g, 2)
+
+	// Nothing pinned yet: any step demands the initial expansion.
+	if r := tr.Step(0, 1, 0); r != RefreshInitial {
+		t.Fatalf("unprimed Step = %v, want initial", r)
+	}
+
+	// Pin a (k+1)-expansion: members {5:5, 4:20}, cutoff 100 → gap 80.
+	tr.Pin([]knn.Result{{Vertex: 5, Dist: 5}, {Vertex: 4, Dist: 20}, {Vertex: 3, Dist: 100}}, 0)
+	if got := tr.Results(); len(got) != 2 || got[0].Vertex != 5 || got[1].Vertex != 4 {
+		t.Fatalf("pinned %v", got)
+	}
+	if tr.Gap() != 80 {
+		t.Fatalf("gap = %d, want 80", tr.Gap())
+	}
+
+	// Standing still adds no drift.
+	if r := tr.Step(0, 0, 0); r != RefreshNone || tr.Drift() != 0 {
+		t.Fatalf("stay-put: %v drift %d", r, tr.Drift())
+	}
+	// Four edge steps accumulate drift 40: 2*40 = 80 <= gap 80 — the
+	// boundary itself is still provably exact (ties are valid kNN choices).
+	from := int32(0)
+	for _, to := range []int32{1, 2, 3, 4} {
+		if r := tr.Step(from, to, 0); r != RefreshNone {
+			t.Fatalf("step %d->%d: %v (drift %d)", from, to, r, tr.Drift())
+		}
+		from = to
+	}
+	if tr.Drift() != 40 {
+		t.Fatalf("drift = %d, want 40", tr.Drift())
+	}
+	// The fifth step pushes 2*50 > 80.
+	if r := tr.Step(4, 5, 0); r != RefreshDrift {
+		t.Fatalf("step past gap: %v", r)
+	}
+
+	// Re-anchor: epoch change outranks everything.
+	tr.Pin([]knn.Result{{Vertex: 5, Dist: 5}, {Vertex: 4, Dist: 20}, {Vertex: 3, Dist: 100}}, 0)
+	if r := tr.Step(0, 1, 7); r != RefreshEpoch {
+		t.Fatalf("epoch change: %v", r)
+	}
+	// A non-edge move has no displacement bound.
+	if r := tr.Step(0, 2, 0); r != RefreshJump {
+		t.Fatalf("jump: %v", r)
+	}
+}
+
+func TestTrackerExhaustedObjectSet(t *testing.T) {
+	g := lineGraph(t)
+	tr := New(g, 3)
+	// Only 2 objects exist for k=3: no (k+1)-th neighbor, gap unbounded —
+	// movement alone can never change the answer.
+	tr.Pin([]knn.Result{{Vertex: 1, Dist: 10}, {Vertex: 2, Dist: 20}}, 4)
+	if tr.Gap() != graph.Inf {
+		t.Fatalf("gap = %d, want Inf", tr.Gap())
+	}
+	from := int32(0)
+	for i := 0; i < 50; i++ {
+		to := from + 1
+		if to > 5 {
+			from, to = 5, 4
+		}
+		if r := tr.Step(from, to, 4); r != RefreshNone {
+			t.Fatalf("walk step %d: %v", i, r)
+		}
+		from = to
+	}
+	// But churn still invalidates.
+	if r := tr.Step(from, from, 5); r != RefreshEpoch {
+		t.Fatalf("epoch under Inf gap: %v", r)
+	}
+}
+
+func TestTrackerZeroGapTies(t *testing.T) {
+	g := lineGraph(t)
+	tr := New(g, 1)
+	// d_k == d_{k+1} (a tie at the cutoff): gap 0. Standing still is still
+	// safe (2*0 <= 0), any movement is not.
+	tr.Pin([]knn.Result{{Vertex: 2, Dist: 10}, {Vertex: 3, Dist: 10}}, 0)
+	if r := tr.Step(0, 0, 0); r != RefreshNone {
+		t.Fatalf("zero-gap stay-put: %v", r)
+	}
+	if r := tr.Step(0, 1, 0); r != RefreshDrift {
+		t.Fatalf("zero-gap move: %v", r)
+	}
+}
+
+func TestDiffAndApply(t *testing.T) {
+	old := []knn.Result{{Vertex: 5, Dist: 10}, {Vertex: 4, Dist: 20}}
+	new := []knn.Result{{Vertex: 4, Dist: 15}, {Vertex: 3, Dist: 30}}
+	events := Diff(old, new, nil)
+	want := []Event{
+		{Kind: Exit, Object: 5},
+		{Kind: DistChange, Object: 4, Dist: 15},
+		{Kind: Enter, Object: 3, Dist: 30},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, events[i], want[i])
+		}
+	}
+
+	// Replaying the deltas onto old's state reconstructs new exactly.
+	state := map[int32]graph.Dist{}
+	if err := Apply(state, Diff(nil, old, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(state, events); err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 2 || state[4] != 15 || state[3] != 30 {
+		t.Fatalf("replayed state %v", state)
+	}
+
+	// Identical sets produce no events.
+	if ev := Diff(new, new, nil); len(ev) != 0 {
+		t.Fatalf("self-diff %v", ev)
+	}
+
+	// Apply rejects internally inconsistent streams.
+	if err := Apply(state, []Event{{Kind: Enter, Object: 4}}); err == nil {
+		t.Fatal("Enter of a member not rejected")
+	}
+	if err := Apply(state, []Event{{Kind: Exit, Object: 99}}); err == nil {
+		t.Fatal("Exit of a non-member not rejected")
+	}
+	if err := Apply(state, []Event{{Kind: DistChange, Object: 99}}); err == nil {
+		t.Fatal("DistChange of a non-member not rejected")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if Enter.String() != "enter" || Exit.String() != "exit" || DistChange.String() != "dist_change" {
+		t.Fatal("event kind wire names changed")
+	}
+	for r, s := range map[RefreshReason]string{
+		RefreshNone: "none", RefreshInitial: "initial", RefreshDrift: "drift",
+		RefreshEpoch: "epoch", RefreshJump: "jump",
+	} {
+		if r.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", r, r.String(), s)
+		}
+	}
+}

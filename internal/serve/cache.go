@@ -8,16 +8,21 @@ import (
 	"rnknn/pkg/rnknn"
 )
 
-// cacheKey identifies one cacheable kNN answer: the query, the category,
-// and — the part that makes invalidation exact and free — the category's
-// epoch. Object churn advances the epoch, so every mutation silently
-// retires all cached answers for that category: readers compute lookup keys
-// from the live epoch and can no longer reach entries stamped with a
-// superseded one. No TTLs, no eviction protocol, no stale reads — retired
-// entries simply age out of the LRU.
+// cacheKey identifies one cacheable answer — kNN or range: the query, the
+// category, and — the part that makes invalidation exact and free — the
+// category's epoch. Object churn advances the epoch, so every mutation
+// silently retires all cached answers for that category: readers compute
+// lookup keys from the live epoch and can no longer reach entries stamped
+// with a superseded one. No TTLs, no eviction protocol, no stale reads —
+// retired entries simply age out of the LRU.
+//
+// The two query shapes share the key space disjointly: kNN entries carry
+// radius -1 (k >= 1), range entries carry k 0 (radius >= 0), so neither can
+// ever collide with or shadow the other.
 type cacheKey struct {
 	vertex   int32
 	k        int32
+	radius   int64
 	epoch    uint64
 	category string
 }
@@ -89,7 +94,7 @@ func newResultCache(capacity, shards int) *resultCache {
 func (c *resultCache) shard(key cacheKey) *cacheShard {
 	var h maphash.Hash
 	h.SetSeed(c.seed)
-	var b [16]byte
+	var b [24]byte
 	b[0] = byte(key.vertex)
 	b[1] = byte(key.vertex >> 8)
 	b[2] = byte(key.vertex >> 16)
@@ -99,7 +104,8 @@ func (c *resultCache) shard(key cacheKey) *cacheShard {
 	b[6] = byte(key.k >> 16)
 	b[7] = byte(key.k >> 24)
 	for i := 0; i < 8; i++ {
-		b[8+i] = byte(key.epoch >> (8 * i))
+		b[8+i] = byte(key.radius >> (8 * i))
+		b[16+i] = byte(key.epoch >> (8 * i))
 	}
 	h.Write(b[:])
 	h.WriteString(key.category)

@@ -19,6 +19,12 @@
 // observed epoch E. The coalescer is a single-flight layer under the cache:
 // identical concurrent misses run one search and share its answer.
 //
+// Both /knn and /range ride the cache (kNN entries carry radius -1, range
+// entries k 0, so the key spaces are disjoint); /monitor streams one
+// db.Monitor session as Server-Sent Events, holding a single admission
+// slot for the session's lifetime and bypassing the cache (deltas are
+// per-session state — see monitor.go).
+//
 // Queries and mutations take separate paths on purpose (the HTAP lesson:
 // co-designed, not shared): /objects/insert and /objects/remove bypass
 // admission and the cache entirely — churn must keep landing even when the
@@ -100,6 +106,7 @@ func New(db *rnknn.DB, cfg Config) *Server {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /knn", s.admitted(s.handleKNN))
 	mux.HandleFunc("GET /range", s.admitted(s.handleRange))
+	mux.HandleFunc("GET /monitor", s.admitted(s.handleMonitor))
 	mux.HandleFunc("POST /batch", s.admitted(s.handleBatch))
 	mux.HandleFunc("POST /objects/insert", s.handleObjects(s.db.InsertObjects))
 	mux.HandleFunc("POST /objects/remove", s.handleObjects(s.db.RemoveObjects))
@@ -185,7 +192,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	key := cacheKey{vertex: int32(qv), k: int32(k), epoch: epoch, category: category}
+	key := cacheKey{vertex: int32(qv), k: int32(k), radius: -1, epoch: epoch, category: category}
 	if res, ok := s.cache.get(key); ok {
 		s.writeKNN(w, key, methodName, res, true, start)
 		return
@@ -199,7 +206,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		if err == nil {
 			// Store under the epoch the search pinned — possibly newer than
 			// the lookup epoch when churn raced this request; never older.
-			s.cache.put(cacheKey{vertex: int32(qv), k: int32(k), epoch: pinned, category: category}, res)
+			s.cache.put(cacheKey{vertex: int32(qv), k: int32(k), radius: -1, epoch: pinned, category: category}, res)
 		}
 		return res, pinned, err
 	})
@@ -224,9 +231,12 @@ func (s *Server) writeKNN(w http.ResponseWriter, key cacheKey, method string, re
 	})
 }
 
-// handleRange runs a range query. Range answers are not cached: the radius
-// axis makes the key space unbounded and real workloads rarely repeat an
-// exact radius; the epoch still stamps the response for observability.
+// handleRange is the cached range path, the same three layers as /knn:
+// epoch-keyed lookup, then single-flight execution on miss. Range entries
+// share the kNN cache (k=0, radius>=0 keeps the key spaces disjoint), so
+// repeated radii — loadgen's fixed-radius mix, map tiles at zoom levels —
+// hit without a session, and object churn retires range answers by the same
+// epoch mechanism.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	qv, err := intParam(r, "q", -1)
@@ -248,16 +258,37 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.db.Range(r.Context(), int32(qv), rnknn.Dist(radius), rnknn.WithCategory(category))
+	key := cacheKey{vertex: int32(qv), radius: int64(radius), epoch: epoch, category: category}
+	if res, ok := s.cache.get(key); ok {
+		s.writeRange(w, key, res, true, start)
+		return
+	}
+	res, pinned, shared, err := s.co.do(r.Context(), key, func() ([]rnknn.Result, uint64, error) {
+		if s.gate != nil {
+			s.gate()
+		}
+		res, pinned, err := s.db.RangePinned(r.Context(), int32(qv), rnknn.Dist(radius), rnknn.WithCategory(category))
+		if err == nil {
+			// Store under the epoch the search pinned, as /knn does.
+			s.cache.put(cacheKey{vertex: int32(qv), radius: int64(radius), epoch: pinned, category: category}, res)
+		}
+		return res, pinned, err
+	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	key.epoch = pinned
+	s.writeRange(w, key, res, shared, start)
+}
+
+func (s *Server) writeRange(w http.ResponseWriter, key cacheKey, res []rnknn.Result, cached bool, start time.Time) {
 	writeJSON(w, http.StatusOK, RangeResponse{
-		Query:         int32(qv),
-		Radius:        int64(radius),
-		Category:      category,
-		Epoch:         epoch,
+		Query:         key.vertex,
+		Radius:        key.radius,
+		Category:      key.category,
+		Epoch:         key.epoch,
+		Cached:        cached,
 		LatencyMicros: time.Since(start).Microseconds(),
 		Results:       Results(res),
 	})

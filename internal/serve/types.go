@@ -50,12 +50,15 @@ type KNNResponse struct {
 	Results []ResultJSON `json:"results"`
 }
 
-// RangeResponse answers GET /range.
+// RangeResponse answers GET /range. Epoch and Cached carry the same
+// guarantees as on KNNResponse: the answer was computed from exactly that
+// object-set version, and Cached marks cache hits and coalesced followers.
 type RangeResponse struct {
 	Query         int32        `json:"query"`
 	Radius        int64        `json:"radius"`
 	Category      string       `json:"category"`
 	Epoch         uint64       `json:"epoch"`
+	Cached        bool         `json:"cached"`
 	LatencyMicros int64        `json:"latency_us"`
 	Results       []ResultJSON `json:"results"`
 }
@@ -106,6 +109,51 @@ type ObjectsResponse struct {
 	Epoch uint64 `json:"epoch"`
 	// NumObjects is the live object count after the mutation.
 	NumObjects int `json:"num_objects"`
+}
+
+// MonitorEventJSON is one result-set delta on the /monitor SSE stream:
+// kind is "enter", "exit", or "dist_change". Dist is meaningful for enter
+// and dist_change (distance from the step's refresh anchor).
+type MonitorEventJSON struct {
+	Kind   string `json:"kind"`
+	Object int32  `json:"object"`
+	Dist   int64  `json:"dist,omitempty"`
+}
+
+// MonitorStepJSON is one "step" event on the /monitor SSE stream: the
+// step/epoch stamps, whether the step re-ran the search ("none" means the
+// safe-region check alone proved the cached set exact), and the deltas
+// versus the previous step (exits first; empty means no change).
+type MonitorStepJSON struct {
+	Step    int                `json:"step"`
+	Vertex  int32              `json:"vertex"`
+	Epoch   uint64             `json:"epoch"`
+	Refresh string             `json:"refresh"`
+	Events  []MonitorEventJSON `json:"events,omitempty"`
+}
+
+// MonitorStep converts a library monitor update to its wire form.
+func MonitorStep(u rnknn.MonitorUpdate) MonitorStepJSON {
+	out := MonitorStepJSON{Step: u.Step, Vertex: u.Vertex, Epoch: u.Epoch, Refresh: u.Refresh.String()}
+	if len(u.Events) > 0 {
+		out.Events = make([]MonitorEventJSON, len(u.Events))
+		for i, e := range u.Events {
+			out.Events[i] = MonitorEventJSON{Kind: e.Kind.String(), Object: e.Object, Dist: int64(e.Dist)}
+		}
+	}
+	return out
+}
+
+// MonitorSummaryJSON is the "done" event closing a /monitor SSE stream:
+// the session's step count and its avoided/re-run split — AvoidedRatio is
+// the fraction of steps the safe-region check answered without a search.
+type MonitorSummaryJSON struct {
+	K            int     `json:"k"`
+	Category     string  `json:"category"`
+	Steps        int     `json:"steps"`
+	Avoided      int     `json:"avoided"`
+	Refreshes    int     `json:"refreshes"`
+	AvoidedRatio float64 `json:"avoided_ratio"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -27,4 +27,6 @@ var (
 	// ErrRangeMethod reports a Range call with a method other than INE;
 	// range queries run on incremental network expansion only.
 	ErrRangeMethod = errors.New("rnknn: range queries support only INE")
+	// ErrBadRoute reports a Monitor call with an empty route.
+	ErrBadRoute = errors.New("rnknn: route must have at least one vertex")
 )

@@ -153,6 +153,42 @@ func ExampleDB_InsertObjects() {
 	// epoch: 2
 }
 
+// ExampleDB_Monitor follows a moving query along a route: Monitor streams
+// result-set deltas (enter/exit/distance-change events) instead of full
+// answers, and each step is either proven still-exact by the cheap
+// safe-region check (refresh "none") or re-anchored by one fresh search
+// (refresh "initial"/"drift"/"epoch"/"jump").
+func ExampleDB_Monitor() {
+	g := exampleGraph()
+	db, err := rnknn.Open(g,
+		rnknn.WithMethods(rnknn.INE),
+		rnknn.WithObjects(rnknn.DefaultCategory, []int32{2, 3}))
+	if err != nil {
+		panic(err)
+	}
+	for u, err := range db.Monitor(context.Background(), []int32{0, 1, 2}, 1) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("step %d at vertex %d (refresh %s):", u.Step, u.Vertex, u.Refresh)
+		for _, e := range u.Events {
+			switch e.Kind {
+			case rnknn.MonitorEnter:
+				fmt.Printf(" +%d:%d", e.Object, e.Dist)
+			case rnknn.MonitorExit:
+				fmt.Printf(" -%d", e.Object)
+			case rnknn.MonitorDistChange:
+				fmt.Printf(" ~%d:%d", e.Object, e.Dist)
+			}
+		}
+		fmt.Println()
+	}
+	// Output:
+	// step 0 at vertex 0 (refresh initial): +3:1000
+	// step 1 at vertex 1 (refresh drift): -3 +2:1000
+	// step 2 at vertex 2 (refresh drift): ~2:0
+}
+
 // ExampleDB_Batch runs several queries as one unit of work: sessions are
 // checked out once per worker, results come back in Add order, and
 // MethodAuto lets the planner pick the method per query.

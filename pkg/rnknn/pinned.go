@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"rnknn/internal/knn"
 )
 
 // KNNPinned answers the same query as KNN and additionally reports the
@@ -47,5 +49,47 @@ func (db *DB) KNNPinned(ctx context.Context, q int32, k int, opts ...QueryOption
 		return nil, 0, err
 	}
 	db.recordKNN(m, k, b, elapsed)
+	return res, b.Epoch, nil
+}
+
+// RangePinned answers the same query as Range and additionally reports the
+// epoch of the category snapshot the search pinned — the range analogue of
+// KNNPinned, and the call the serving layer's range cache needs: stamping
+// the answer with the epoch of the very binding it ran on (not re-read
+// around the call) closes the load-epoch/run-query race, so an entry keyed
+// on (vertex, radius, category, epoch) can never serve one epoch's answer
+// to a reader observing another. Validation, INE-only method rules,
+// cancellation, and Stats recording are identical to Range.
+func (db *DB) RangePinned(ctx context.Context, q int32, radius Dist, opts ...QueryOption) ([]Result, uint64, error) {
+	qo := db.applyOpts(opts)
+	if radius < 0 {
+		return nil, 0, fmt.Errorf("%w: radius=%d", ErrBadRadius, radius)
+	}
+	if err := db.checkRangeMethod(qo); err != nil {
+		return nil, 0, err
+	}
+	b, err := db.checkQuery(ctx, q, qo)
+	if err != nil {
+		return nil, 0, err
+	}
+	ps, err := db.pools[INE].get(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	rm := ps.sess.(knn.RangeMethod)
+	ps.arm(ctx)
+	start := time.Now()
+	ps.buf = rm.RangeAppend(q, radius, ps.buf[:0])
+	elapsed := time.Since(start)
+	ps.disarm()
+	res := make([]Result, len(ps.buf))
+	copy(res, ps.buf)
+	db.pools[INE].put(ps)
+	if err := ctx.Err(); err != nil {
+		// The scan may have been cut short; the partial answer is not
+		// returned.
+		return nil, 0, err
+	}
+	db.stats.recordRange(elapsed)
 	return res, b.Epoch, nil
 }

@@ -173,6 +173,8 @@ type DB struct {
 	cats map[string]*category
 
 	stats registry
+	// mon aggregates continuous-query counters (see Monitor).
+	mon monitorCounters
 	// plan resolves MethodAuto queries and learns from every completed
 	// kNN query's latency (see MethodAuto and Explain).
 	plan *planner.Planner

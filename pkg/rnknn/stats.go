@@ -42,6 +42,9 @@ type Stats struct {
 	// Epochs maps each registered object category to its live epoch number
 	// (how many set-changing mutations it has absorbed since registration).
 	Epochs map[string]uint64
+	// Monitor aggregates continuous-query work (see DB.Monitor): route
+	// steps served, and the avoided/re-run split.
+	Monitor MonitorStats
 }
 
 // counters is one method's lock-free aggregate.
@@ -96,6 +99,7 @@ func (db *DB) Stats() Stats {
 		Methods:    map[string]MethodStats{},
 		Categories: map[string]int{},
 		Epochs:     map[string]uint64{},
+		Monitor:    db.mon.snapshot(),
 	}
 	for name, info := range db.eng.BuiltIndexes() {
 		s.Indexes[name] = IndexStats{BuildTime: info.BuildTime, SizeBytes: info.SizeBytes, Loaded: info.Loaded}
