@@ -353,6 +353,10 @@ func BenchmarkDBKNNGrid(b *testing.B) {
 							b.Fatal(err)
 						}
 					}
+					// cmd/fitcost needs the network size per record to fit the
+					// cost model; bench2json keeps custom units in its metrics
+					// map, no parser change needed.
+					b.ReportMetric(float64(db.Graph().NumVertices()), "nv")
 				})
 			}
 		}
@@ -403,6 +407,89 @@ func BenchmarkDBSequential(b *testing.B) {
 			}
 		}
 	}
+}
+
+// batchClusteredOnce registers the sparse category BenchmarkDBBatchClustered
+// queries on the shared churn network: ~110 objects over ~110k vertices, the
+// sparse regime where a single k=10 INE query costs well over the planner's
+// sharing crossover.
+var batchClusteredOnce sync.Once
+
+// BenchmarkDBBatchClustered is the shared-expansion acceptance benchmark: 64
+// k=10 queries packed into one spatial block of the ~110k-vertex network,
+// answered per op either by shared multi-source expansions (mode=shared) or
+// by the pooled fan-out baseline (mode=fanout). The answers must match
+// exactly, and the shared mode reports its speedup over fan-out and
+// hard-fails below 1.5x so a regression in the shared frontier can't land
+// silently. CI folds both modes into BENCH_pr.json; cmd/fitcost consumes
+// the pair (via the "members" metric) to fit the cost model's shared-cost
+// coefficient.
+func BenchmarkDBBatchClustered(b *testing.B) {
+	db, _ := sharedChurnDB(b)
+	g := db.Graph()
+	batchClusteredOnce.Do(func() {
+		if err := db.RegisterObjects("batch-sparse", gen.Uniform(g, 0.001, 47)); err != nil {
+			panic(err)
+		}
+	})
+	// Consecutive vertex ids around the network middle: spatially adjacent
+	// on the generated grids, so the grouping planner sees same-leaf
+	// clusters — the hot-cell shape shared expansion exists for.
+	queries := make([]int32, batchQueryCount)
+	base := int32(g.NumVertices() / 2)
+	for i := range queries {
+		queries[i] = base + int32(i)
+	}
+	ctx := context.Background()
+	runOnce := func(b *testing.B, mode api.SharedMode) []api.BatchResult {
+		batch := db.Batch().SharedExpansion(mode)
+		for _, q := range queries {
+			batch.AddKNN(q, 10, api.WithMethod(api.INE), api.WithCategory("batch-sparse"))
+		}
+		results, err := batch.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		return results
+	}
+	// Exactness gate before any timing: member for member, the shared
+	// expansion must return the fan-out answers.
+	fanRes := runOnce(b, api.SharedOff)
+	shRes := runOnce(b, api.SharedOn)
+	for i := range fanRes {
+		if !api.SameResults(fanRes[i].Results, shRes[i].Results) {
+			b.Fatalf("query %d: shared %v != fanout %v", queries[i],
+				api.FormatResults(shRes[i].Results), api.FormatResults(fanRes[i].Results))
+		}
+	}
+	var fanoutNs, sharedNs float64
+	bench := func(mode api.SharedMode, ns *float64) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runOnce(b, mode)
+			}
+			*ns = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(float64(batchQueryCount), "members")
+		}
+	}
+	b.Run("mode=fanout", bench(api.SharedOff, &fanoutNs))
+	b.Run("mode=shared", func(b *testing.B) {
+		bench(api.SharedOn, &sharedNs)(b)
+		if fanoutNs > 0 && sharedNs > 0 {
+			speedup := fanoutNs / sharedNs
+			b.ReportMetric(speedup, "speedup")
+			if speedup < 1.5 {
+				b.Fatalf("shared expansion only %.2fx faster than fan-out, want >= 1.5x", speedup)
+			}
+		}
+	})
 }
 
 // BenchmarkDBKNNSeqFirstResult measures streaming's reason to exist: time

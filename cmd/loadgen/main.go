@@ -24,6 +24,19 @@
 //
 //	loadgen -mode nav -workers 16 -steps 100 -step-interval 10ms
 //
+// Batch mode drives POST /batch with spatially clustered batches: the
+// vertex space is cut into cells (contiguous id blocks — spatial blocks on
+// the generated grids), a small hot set of cells is drawn, and each batch
+// packs all its members into one Zipf-picked hot cell, so the server's
+// grouping planner sees the same-leaf clusters shared expansion exists
+// for. The batch-size mix is a weighted distribution like the k mix:
+//
+//	loadgen -mode batch -workers 8 -batch-mix 8:2,32:1,64:1 -hot-cells 8
+//
+// The report then adds batch throughput (batches and member queries per
+// second), the issued batch-size histogram, the client-observed shared and
+// cached member ratios, and the server's shared-group split over the run.
+//
 // The report records p50/p99/p999 read latency (HDR-style histogram),
 // achieved vs target RPS, the server's cache-hit ratio over the run, and
 // shed/error counts.
@@ -67,6 +80,10 @@ func main() {
 
 		navSteps     = flag.Int("steps", 100, "nav mode: route length per monitor session")
 		stepInterval = flag.Duration("step-interval", 0, "nav mode: per-session step interval (0 = unpaced)")
+
+		batchMix = flag.String("batch-mix", "8:2,32:1,64:1", "batch mode: batch-size distribution as size:weight[,size:weight...]")
+		hotCells = flag.Int("hot-cells", 8, "batch mode: hot cell count the clustered generator draws batches from")
+		cellSpan = flag.Int("cell-span", 64, "batch mode: vertices per cell (contiguous id block)")
 	)
 	flag.Parse()
 
@@ -85,8 +102,8 @@ func main() {
 	if *zipfS < 0 {
 		usageExit("-zipf must be >= 0, got %g", *zipfS)
 	}
-	if *mode != "open" && *mode != "closed" && *mode != "nav" {
-		usageExit("-mode must be open, closed, or nav, got %q", *mode)
+	if *mode != "open" && *mode != "closed" && *mode != "nav" && *mode != "batch" {
+		usageExit("-mode must be open, closed, nav, or batch, got %q", *mode)
 	}
 	if *navSteps <= 0 {
 		usageExit("-steps must be > 0, got %d", *navSteps)
@@ -94,6 +111,13 @@ func main() {
 	ks, kweights, err := parseKMix(*kmix)
 	if err != nil {
 		usageExit("-kmix: %v", err)
+	}
+	sizes, sizeWeights, err := parseKMix(*batchMix)
+	if err != nil {
+		usageExit("-batch-mix: %v", err)
+	}
+	if *hotCells <= 0 || *cellSpan <= 0 {
+		usageExit("-hot-cells and -cell-span must be > 0")
 	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -133,6 +157,12 @@ func main() {
 		churnRatio:  *churn,
 		numVertices: numVertices,
 	}
+	if *mode == "batch" {
+		g.batchSizes = sizes
+		g.batchWeights = sizeWeights
+		g.cells = hotCellBlocks(numVertices, *hotCells, *cellSpan, *seed)
+		g.batchSizeHist = map[int]uint64{}
+	}
 
 	fmt.Printf("loadgen: %s mode against %s (|V|=%d, pool %d, zipf %g, kmix %s, churn %g) for %s\n",
 		*mode, *addr, numVertices, pool, *zipfS, *kmix, *churn, *duration)
@@ -144,6 +174,8 @@ func main() {
 		g.runClosed(*workers, *duration, *seed)
 	case "nav":
 		g.runNav(*workers, *duration, *navSteps, *stepInterval, *seed)
+	case "batch":
+		g.runBatch(*workers, *duration, *seed)
 	}
 	elapsed := time.Since(start)
 	stats1, err := fetchStats(client, *addr)
@@ -214,6 +246,22 @@ type Report struct {
 	NavSteps       uint64  `json:"nav_steps,omitempty"`
 	NavRefreshes   uint64  `json:"nav_refreshes,omitempty"`
 	AvoidedPerStep float64 `json:"avoided_per_step,omitempty"`
+	// Batch mode: completed batches and their member queries, both as totals
+	// and as throughput; the issued batch-size histogram (size -> count);
+	// the client-observed fraction of members answered by shared-expansion
+	// groups and from the cache; and the server's shared-group split over
+	// the run (MeanGroupSize = shared queries / shared groups).
+	BatchCount         uint64         `json:"batches,omitempty"`
+	BatchQueries       uint64         `json:"batch_queries,omitempty"`
+	BatchesPerSec      float64        `json:"batches_per_sec,omitempty"`
+	BatchQueriesPerSec float64        `json:"batch_queries_per_sec,omitempty"`
+	BatchSizeHist      map[int]uint64 `json:"batch_size_hist,omitempty"`
+	BatchSharedRatio   float64        `json:"batch_shared_ratio,omitempty"`
+	BatchCachedRatio   float64        `json:"batch_cached_ratio,omitempty"`
+	SharedGroups       uint64         `json:"shared_groups,omitempty"`
+	SharedQueries      uint64         `json:"shared_queries,omitempty"`
+	FanoutQueries      uint64         `json:"fanout_queries,omitempty"`
+	MeanGroupSize      float64        `json:"mean_group_size,omitempty"`
 }
 
 // generator fires the request mix and accumulates client-side counters.
@@ -241,6 +289,18 @@ type generator struct {
 	navSteps     atomic.Uint64
 	navAvoided   atomic.Uint64
 	navRefreshes atomic.Uint64
+
+	// batch mode (see runBatch): the size mix, the hot cells batches cluster
+	// into, and client-observed member outcome counters.
+	batchSizes    []int
+	batchWeights  []float64 // cumulative, normalized
+	cells         [][]int32
+	batches       atomic.Uint64
+	batchQueries  atomic.Uint64
+	batchShared   atomic.Uint64
+	batchCached   atomic.Uint64
+	histMu        sync.Mutex
+	batchSizeHist map[int]uint64
 }
 
 // workerState is one goroutine's private randomness (Zipf tables are not
@@ -429,6 +489,116 @@ func (g *generator) fireMonitor(st *workerState, steps int, stepInterval time.Du
 	g.navSessions.Add(1)
 }
 
+// hotCellBlocks cuts the vertex space into contiguous cellSpan-vertex
+// blocks and picks n of them at random. On the generated grid networks,
+// contiguous vertex ids are spatially adjacent, so a block approximates
+// one partition leaf — the locality unit the server's grouping planner
+// clusters by.
+func hotCellBlocks(numVertices, n, cellSpan int, seed int64) [][]int32 {
+	numCells := numVertices / cellSpan
+	if numCells < 1 {
+		numCells = 1
+	}
+	if n > numCells {
+		n = numCells
+	}
+	rng := rand.New(rand.NewSource(seed + 77))
+	out := make([][]int32, n)
+	for i, c := range rng.Perm(numCells)[:n] {
+		lo := c * cellSpan
+		hi := lo + cellSpan
+		if hi > numVertices {
+			hi = numVertices
+		}
+		cell := make([]int32, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			cell = append(cell, int32(v))
+		}
+		out[i] = cell
+	}
+	return out
+}
+
+// runBatch runs n workers firing clustered POST /batch requests
+// back-to-back until the deadline (the capacity view, like closed mode).
+// When -churn is set, the per-request churn coin applies per batch.
+func (g *generator) runBatch(n int, d time.Duration, seed int64) {
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := g.newWorkerState(seed + 1000*int64(w))
+			for time.Now().Before(deadline) {
+				if g.churnRatio > 0 && st.rng.Float64() < g.churnRatio {
+					g.fireChurn(st)
+					continue
+				}
+				g.fireBatch(st)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// fireBatch issues one clustered batch: a Zipf-picked hot cell, a size from
+// the batch mix, members drawn from inside the cell (duplicates allowed —
+// they exercise the server's intra-batch dedup). The latency histogram
+// records whole-batch latency in this mode.
+func (g *generator) fireBatch(st *workerState) {
+	size := g.batchSizes[sampleWeighted(st.rng, g.batchWeights)]
+	cell := g.cells[st.rng.Intn(len(g.cells))]
+	req := serve.BatchRequest{Queries: make([]serve.BatchQuery, size)}
+	for i := range req.Queries {
+		req.Queries[i] = serve.BatchQuery{
+			Query:    cell[st.rng.Intn(len(cell))],
+			K:        g.ks[sampleWeighted(st.rng, g.kweights)],
+			Category: g.category,
+		}
+	}
+	body, _ := json.Marshal(req)
+	start := time.Now()
+	resp, err := g.client.Post(g.base+"/batch", "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		g.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		g.shed.Add(1)
+		return
+	case resp.StatusCode != http.StatusOK:
+		g.errors.Add(1)
+		return
+	}
+	var br serve.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		g.errors.Add(1)
+		return
+	}
+	g.batches.Add(1)
+	g.batchQueries.Add(uint64(len(br.Results)))
+	for i := range br.Results {
+		if br.Results[i].Error != "" {
+			g.errors.Add(1)
+			continue
+		}
+		if br.Results[i].Shared {
+			g.batchShared.Add(1)
+		}
+		if br.Results[i].Cached {
+			g.batchCached.Add(1)
+		}
+	}
+	g.hist.Record(lat)
+	g.histMu.Lock()
+	g.batchSizeHist[size]++
+	g.histMu.Unlock()
+}
+
 // fire issues one request from the mix.
 func (g *generator) fire(st *workerState) {
 	if g.churnRatio > 0 && st.rng.Float64() < g.churnRatio {
@@ -521,6 +691,27 @@ func (g *generator) report(mode string, targetRPS float64, elapsed time.Duration
 	r.NavRefreshes = g.navRefreshes.Load()
 	if r.NavSteps > 0 {
 		r.AvoidedPerStep = float64(g.navAvoided.Load()) / float64(r.NavSteps)
+	}
+	r.BatchCount = g.batches.Load()
+	r.BatchQueries = g.batchQueries.Load()
+	if r.BatchCount > 0 {
+		r.Requests += r.BatchCount
+		if elapsed > 0 {
+			r.AchievedRPS = float64(r.Requests+r.Shed) / elapsed.Seconds()
+			r.BatchesPerSec = float64(r.BatchCount) / elapsed.Seconds()
+			r.BatchQueriesPerSec = float64(r.BatchQueries) / elapsed.Seconds()
+		}
+		g.histMu.Lock()
+		r.BatchSizeHist = g.batchSizeHist
+		g.histMu.Unlock()
+		r.BatchSharedRatio = float64(g.batchShared.Load()) / float64(r.BatchQueries)
+		r.BatchCachedRatio = float64(g.batchCached.Load()) / float64(r.BatchQueries)
+		r.SharedGroups = s1.DB.Batch.SharedGroups - s0.DB.Batch.SharedGroups
+		r.SharedQueries = s1.DB.Batch.SharedQueries - s0.DB.Batch.SharedQueries
+		r.FanoutQueries = s1.DB.Batch.FanoutQueries - s0.DB.Batch.FanoutQueries
+		if r.SharedGroups > 0 {
+			r.MeanGroupSize = float64(r.SharedQueries) / float64(r.SharedGroups)
+		}
 	}
 	hits := s1.Server.CacheHits - s0.Server.CacheHits
 	misses := s1.Server.CacheMisses - s0.Server.CacheMisses

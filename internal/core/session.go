@@ -193,6 +193,9 @@ func (s gtreeSession) Rebind(b *Binding) { s.m.SetObjects(b.ol) }
 func (s gtreeSession) KNNStream(q int32, k int, yield func(knn.Result) bool) {
 	s.m.KNNStream(q, k, yield)
 }
+func (s gtreeSession) KNNGroupAppend(qs []knn.GroupQuery, dst [][]knn.Result) {
+	s.m.KNNGroupAppend(qs, dst)
+}
 
 type roadSession struct{ m *road.KNN }
 
@@ -226,4 +229,8 @@ var (
 	_ knn.Streamer = (*ierSession)(nil)
 	_ knn.Streamer = gtreeSession{}
 	_ knn.Streamer = roadSession{}
+	// Shared-expansion batch execution: INE through the promoted
+	// KNNGroupAppend, G-tree through an explicit delegate.
+	_ knn.BatchMethod = ineSession{}
+	_ knn.BatchMethod = gtreeSession{}
 )

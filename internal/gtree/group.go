@@ -1,0 +1,437 @@
+package gtree
+
+import (
+	"rnknn/internal/graph"
+	"rnknn/internal/knn"
+	"rnknn/internal/pqueue"
+)
+
+// Shared-expansion batch execution for G-tree: a group of kNN queries from
+// the same partition leaf shares one GroupSource — a vector-labeled variant
+// of Source whose border-distance assembly walks each touched tree node's
+// matrix ONCE and propagates every member's distance vector through it,
+// instead of len(qs) independent traversals of the same matrices. Each
+// member then runs its own Algorithm 3 loop (its own queue, its own
+// termination bound) against the shared cache, so per-member answers are
+// identical to the single-query path: the distances read out of the group
+// cache are the same exact border distances Source would compute.
+//
+// All group state is arena-backed and reused across calls, so a warm shared
+// batch allocates nothing.
+
+// GroupSource materializes border distances for a group of same-leaf source
+// vertices. Node ni's block holds len(borders)*m distances; entry
+// (border j, member u) lives at block[j*m+u], keeping the member loop — the
+// innermost, shared-traversal loop — contiguous.
+//
+// Unlike Source, whose arena spans every tree node up front, the group arena
+// grows lazily per touched node: a group query touches O(depth·fanout)
+// nodes, and pre-sizing |borders|·m for the whole tree would waste memory
+// for large groups.
+type GroupSource struct {
+	idx   *Index
+	qs    []int32
+	m     int
+	q0    int32
+	leafQ int32
+
+	// Stamped lazy arena: node ni's block starts at slotOff[ni] when
+	// stamp[ni] == cur.
+	slotOff []int32
+	stamp   []uint32
+	cur     uint32
+	flat    []graph.Dist
+	// idxBuf is scratch for the crossing-step source-side index list.
+	idxBuf []int32
+
+	// PathCost counts border-to-border additions, shared traversals counted
+	// once per member component (comparable to Source.PathCost summed).
+	PathCost int
+}
+
+// Reset retargets the group source to members qs (which must share one
+// partition leaf) over x. The caller keeps qs alive for the lifetime of the
+// reset; the slice is not copied.
+func (s *GroupSource) Reset(x *Index, qs []int32) {
+	if s.idx != x {
+		s.idx = x
+		n := len(x.nodes)
+		s.slotOff = make([]int32, n)
+		s.stamp = make([]uint32, n)
+		s.cur = 0
+	}
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.cur = 1
+	}
+	s.qs = qs
+	s.m = len(qs)
+	s.q0 = qs[0]
+	s.leafQ = x.PT.LeafOf[qs[0]]
+	s.flat = s.flat[:0]
+	s.PathCost = 0
+}
+
+// alloc carves node ni's block out of the arena, growing it as needed, and
+// marks the node materialized. The block is initialized to Inf. Any slice
+// into the arena taken before alloc may be stale afterwards (growth moves
+// the backing array); callers re-slice via slotOff after allocating.
+func (s *GroupSource) alloc(ni, nb int32) []graph.Dist {
+	m := int32(s.m)
+	base := int32(len(s.flat))
+	need := int(base + nb*m)
+	if cap(s.flat) < need {
+		grown := make([]graph.Dist, len(s.flat), need+need/2+256)
+		copy(grown, s.flat)
+		s.flat = grown
+	}
+	s.flat = s.flat[:need]
+	out := s.flat[base:need]
+	for i := range out {
+		out[i] = graph.Inf
+	}
+	s.slotOff[ni] = base
+	s.stamp[ni] = s.cur
+	return out
+}
+
+// block returns node ni's materialized border-distance block (one traversal
+// of ni's matrix serves all m members), computing it on demand. The returned
+// slice aliases the arena and is valid until the next block call (growth may
+// move it) — callers consume it immediately.
+func (s *GroupSource) block(ni int32) []graph.Dist {
+	m := int32(s.m)
+	nb := int32(len(s.idx.nodes[ni].borders))
+	if s.stamp[ni] == s.cur {
+		base := s.slotOff[ni]
+		return s.flat[base : base+nb*m]
+	}
+	x := s.idx
+	pt := x.PT
+	switch {
+	case ni == s.leafQ:
+		// Base case: the refined leaf matrix columns at each member are
+		// global (same as Source, once per member column).
+		out := s.alloc(ni, nb)
+		for bi := int32(0); bi < nb; bi++ {
+			row := out[bi*m : bi*m+m]
+			for u, qv := range s.qs {
+				row[u] = dist64(x.matAt(ni, bi, x.posInLeaf[qv]))
+			}
+		}
+		return out
+	case pt.Contains(ni, s.q0):
+		// Up step: one pass over this node's matrix propagates every
+		// member's vector from the on-path child's block.
+		child := s.onPathChild(ni)
+		s.block(child)
+		out := s.alloc(ni, nb)
+		nbc := int32(len(x.nodes[child].borders))
+		cd := s.flat[s.slotOff[child] : s.slotOff[child]+nbc*m]
+		n := &x.nodes[ni]
+		base := n.childOff[childIndex(pt, ni, child)]
+		if x.layout == ArrayLayout {
+			for i := int32(0); i < nbc; i++ {
+				cdi := cd[i*m : i*m+m]
+				row := n.mat[(base+i)*n.stride:]
+				for j := int32(0); j < nb; j++ {
+					w := row[n.ownIdx[j]]
+					if w >= inf32 {
+						continue
+					}
+					wd := graph.Dist(w)
+					oj := out[j*m : j*m+m]
+					for u := int32(0); u < m; u++ {
+						if cdi[u] == graph.Inf {
+							continue
+						}
+						if d := cdi[u] + wd; d < oj[u] {
+							oj[u] = d
+						}
+					}
+				}
+			}
+		} else {
+			for j := int32(0); j < nb; j++ {
+				oj := out[j*m : j*m+m]
+				col := n.ownIdx[j]
+				for i := int32(0); i < nbc; i++ {
+					w := x.matAt(ni, base+i, col)
+					if w >= inf32 {
+						continue
+					}
+					wd := graph.Dist(w)
+					cdi := cd[i*m : i*m+m]
+					for u := int32(0); u < m; u++ {
+						if cdi[u] == graph.Inf {
+							continue
+						}
+						if d := cdi[u] + wd; d < oj[u] {
+							oj[u] = d
+						}
+					}
+				}
+			}
+		}
+		s.PathCost += int(nbc) * int(nb) * s.m
+		return out
+	default:
+		// Crossing or down step within the parent, one matrix pass for all
+		// members.
+		parent := pt.Nodes[ni].Parent
+		pn := &x.nodes[parent]
+		myBase := pn.childOff[childIndex(pt, parent, ni)]
+		var fromOff, nfrom int32
+		var fromIdx []int32
+		if pt.Contains(parent, s.q0) {
+			// Crossing at the LCA: source side is the on-path child.
+			side := s.onPathChild(parent)
+			s.block(side)
+			fromOff = s.slotOff[side]
+			nfrom = int32(len(x.nodes[side].borders))
+			sideBase := pn.childOff[childIndex(pt, parent, side)]
+			fromIdx = s.idxBuf[:0]
+			for i := int32(0); i < nfrom; i++ {
+				fromIdx = append(fromIdx, sideBase+i)
+			}
+			s.idxBuf = fromIdx
+		} else {
+			// Pure down step: from the parent's own borders.
+			s.block(parent)
+			fromOff = s.slotOff[parent]
+			nfrom = int32(len(pn.borders))
+			fromIdx = pn.ownIdx
+		}
+		out := s.alloc(ni, nb)
+		fromD := s.flat[fromOff : fromOff+nfrom*m]
+		if x.layout == ArrayLayout {
+			for i := int32(0); i < nfrom; i++ {
+				fdi := fromD[i*m : i*m+m]
+				row := pn.mat[fromIdx[i]*pn.stride+myBase:]
+				for j := int32(0); j < nb; j++ {
+					w := row[j]
+					if w >= inf32 {
+						continue
+					}
+					wd := graph.Dist(w)
+					oj := out[j*m : j*m+m]
+					for u := int32(0); u < m; u++ {
+						if fdi[u] == graph.Inf {
+							continue
+						}
+						if d := fdi[u] + wd; d < oj[u] {
+							oj[u] = d
+						}
+					}
+				}
+			}
+		} else {
+			for j := int32(0); j < nb; j++ {
+				oj := out[j*m : j*m+m]
+				col := myBase + j
+				for i := int32(0); i < nfrom; i++ {
+					w := x.matAt(parent, fromIdx[i], col)
+					if w >= inf32 {
+						continue
+					}
+					wd := graph.Dist(w)
+					fdi := fromD[i*m : i*m+m]
+					for u := int32(0); u < m; u++ {
+						if fdi[u] == graph.Inf {
+							continue
+						}
+						if d := fdi[u] + wd; d < oj[u] {
+							oj[u] = d
+						}
+					}
+				}
+			}
+		}
+		s.PathCost += int(nfrom) * int(nb) * s.m
+		return out
+	}
+}
+
+// onPathChild returns the child of ancestor ni containing the group (all
+// members share a leaf, so containment of any member decides).
+func (s *GroupSource) onPathChild(ni int32) int32 {
+	pt := s.idx.PT
+	for _, c := range pt.Nodes[ni].Children {
+		if pt.Contains(c, s.q0) {
+			return c
+		}
+	}
+	panic("gtree: no on-path child")
+}
+
+// MinBorderDist returns member u's minimum distance to any border of node
+// ni, or Inf when ni has no borders (the root).
+func (s *GroupSource) MinBorderDist(ni int32, u int) graph.Dist {
+	db := s.block(ni)
+	best := graph.Inf
+	for j := u; j < len(db); j += s.m {
+		if db[j] < best {
+			best = db[j]
+		}
+	}
+	return best
+}
+
+// groupScratch is KNN's per-session shared-batch scratch.
+type groupScratch struct {
+	gs   GroupSource
+	scan leafScan // per-member Algorithm 4 scan, restarted per member
+	src  []int32
+}
+
+// KNNGroupAppend implements knn.BatchMethod: members sharing the source
+// leaf run their Algorithm 3 loops against one GroupSource; anything else
+// falls back to independent queries (the contract does not require members
+// to be clustered, only rewards it).
+func (x *KNN) KNNGroupAppend(qs []knn.GroupQuery, dst [][]knn.Result) {
+	if len(qs) == 0 {
+		return
+	}
+	pt := x.idx.PT
+	leaf := pt.LeafOf[qs[0].Q]
+	shared := len(qs) > 1 && x.ImprovedLeaf
+	for _, q := range qs[1:] {
+		if pt.LeafOf[q.Q] != leaf {
+			shared = false
+			break
+		}
+	}
+	if !shared {
+		for i, q := range qs {
+			dst[i] = x.KNNAppend(q.Q, q.K, dst[i])
+		}
+		return
+	}
+	g := x.grp
+	if g == nil {
+		g = &groupScratch{}
+		x.grp = g
+	}
+	g.src = g.src[:0]
+	for _, q := range qs {
+		g.src = append(g.src, q.Q)
+	}
+	g.gs.Reset(x.idx, g.src)
+	for u, q := range qs {
+		x.out = dst[u]
+		x.knnGroupMember(&g.gs, u, q.Q, q.K, x.collect)
+		dst[u] = x.out
+	}
+	x.out = nil
+	x.PathCost = g.gs.PathCost
+}
+
+// knnGroupMember is member u's Algorithm 3 loop over the shared source: the
+// same queue discipline as KNNStream, with every border-distance read served
+// by the group cache.
+func (x *KNN) knnGroupMember(gs *GroupSource, u int, qv int32, k int, yield func(knn.Result) bool) {
+	idx := x.idx
+	pt := idx.PT
+	q := x.q
+	q.Reset()
+	found := 0
+	stopped := false
+
+	leafQ := gs.leafQ
+	if x.ol.Count(leafQ) > 0 {
+		x.grp.scan.start(idx, qv)
+		found, stopped = x.leafSearchScan(&x.grp.scan, leafQ, k, q, yield)
+	}
+
+	const root = int32(0)
+	tn := leafQ
+	tmin := graph.Inf
+	if tn != root {
+		tmin = gs.MinBorderDist(tn, u)
+	}
+
+	for !stopped && found < k && (!q.Empty() || tn != root) {
+		if q.Empty() {
+			tn, tmin = x.advanceTGroup(gs, u, q, tn)
+		}
+		if q.Empty() {
+			continue
+		}
+		it := q.Pop()
+		d := graph.Dist(it.Key)
+		if d > tmin {
+			tn, tmin = x.advanceTGroup(gs, u, q, tn)
+			q.Push(it.ID, it.Key)
+			continue
+		}
+		if !isNodeID(it.ID) {
+			found++
+			if !yield(knn.Result{Vertex: it.ID, Dist: d}) {
+				stopped = true
+			}
+			continue
+		}
+		ni := decodeNode(it.ID)
+		if pt.Nodes[ni].IsLeaf() {
+			x.enqueueLeafObjectsGroup(gs, u, ni, q)
+		} else {
+			for _, c := range x.ol.Children(ni) {
+				q.Push(encodeNode(c), int64(gs.MinBorderDist(c, u)))
+			}
+		}
+	}
+}
+
+// advanceTGroup is advanceT against the group cache.
+func (x *KNN) advanceTGroup(gs *GroupSource, u int, q *pqueue.Queue, tn int32) (int32, graph.Dist) {
+	idx := x.idx
+	pt := idx.PT
+	prev := tn
+	tn = pt.Nodes[tn].Parent
+	tmin := graph.Inf
+	if tn != 0 && len(idx.nodes[tn].borders) > 0 {
+		tmin = gs.MinBorderDist(tn, u)
+	}
+	for _, c := range x.ol.Children(tn) {
+		if c == prev {
+			continue
+		}
+		q.Push(encodeNode(c), int64(gs.MinBorderDist(c, u)))
+	}
+	return tn, tmin
+}
+
+// enqueueLeafObjectsGroup is enqueueLeafObjects reading member u's column of
+// the group cache.
+func (x *KNN) enqueueLeafObjectsGroup(gs *GroupSource, u int, ni int32, q *pqueue.Queue) {
+	idx := x.idx
+	db := gs.block(ni)
+	m := gs.m
+	ln := &idx.nodes[ni]
+	for _, o := range x.ol.LeafObjects(ni) {
+		pos := idx.posInLeaf[o]
+		best := graph.Inf
+		for bi := range ln.borders {
+			d := db[bi*m+u]
+			if d == graph.Inf {
+				continue
+			}
+			w := idx.matAt(ni, int32(bi), pos)
+			if w >= inf32 {
+				continue
+			}
+			if dd := d + graph.Dist(w); dd < best {
+				best = dd
+			}
+		}
+		gs.PathCost += len(ln.borders)
+		if best < graph.Inf {
+			q.Push(o, int64(best))
+		}
+	}
+}
+
+var _ knn.BatchMethod = (*KNN)(nil)

@@ -1,0 +1,115 @@
+package gtree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rnknn/internal/gen"
+	"rnknn/internal/gtree"
+	"rnknn/internal/knn"
+)
+
+// groupFixture builds an index plus a kNN method pair (shared-path subject,
+// single-path reference) over a random object set.
+func groupFixture(t testing.TB, seed int64) (*gtree.Index, *knn.ObjectSet, *gtree.KNN, *gtree.KNN) {
+	t.Helper()
+	g := testGraph(t, seed, 20, 20)
+	idx := gtree.Build(g, gtree.Options{Fanout: 4, Tau: 40})
+	objs := knn.NewObjectSet(g, gen.Uniform(g, 0.03, seed+1))
+	ol := idx.NewOccurrenceList(objs)
+	return idx, objs, gtree.NewKNN(idx, ol), gtree.NewKNN(idx, ol)
+}
+
+func TestGroupMatchesSingleQueries(t *testing.T) {
+	idx, _, x, single := groupFixture(t, 71)
+	rng := rand.New(rand.NewSource(72))
+	pt := idx.PT
+	// For each trial pick one leaf and group random members inside it: the
+	// shared GroupSource path.
+	leaves := make([]int32, 0)
+	for ni := range pt.Nodes {
+		if pt.Nodes[ni].IsLeaf() && len(pt.Nodes[ni].Vertices) >= 4 {
+			leaves = append(leaves, int32(ni))
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		verts := pt.Nodes[leaves[rng.Intn(len(leaves))]].Vertices
+		m := 2 + rng.Intn(6)
+		qs := make([]knn.GroupQuery, m)
+		for u := range qs {
+			qs[u] = knn.GroupQuery{Q: verts[rng.Intn(len(verts))], K: 1 + rng.Intn(10)}
+		}
+		dst := make([][]knn.Result, m)
+		x.KNNGroupAppend(qs, dst)
+		for u, q := range qs {
+			want := single.KNN(q.Q, q.K)
+			if !knn.SameResults(dst[u], want) {
+				t.Fatalf("trial %d member %d (q=%d k=%d): group %s single %s",
+					trial, u, q.Q, q.K, knn.FormatResults(dst[u]), knn.FormatResults(want))
+			}
+		}
+	}
+}
+
+func TestGroupCrossLeafFallsBack(t *testing.T) {
+	idx, objs, x, _ := groupFixture(t, 73)
+	_ = objs
+	pt := idx.PT
+	// Two members from different leaves: must still be exact (the method
+	// falls back to independent queries).
+	var a, b int32 = -1, -1
+	for v := int32(1); int(v) < len(pt.LeafOf); v++ {
+		if pt.LeafOf[v] != pt.LeafOf[0] {
+			a, b = 0, v
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("degenerate partition")
+	}
+	qs := []knn.GroupQuery{{Q: a, K: 6}, {Q: b, K: 4}}
+	dst := make([][]knn.Result, len(qs))
+	x.KNNGroupAppend(qs, dst)
+	for u, q := range qs {
+		want := x.KNN(q.Q, q.K)
+		if !knn.SameResults(dst[u], want) {
+			t.Fatalf("member %d: group %s single %s", u,
+				knn.FormatResults(dst[u]), knn.FormatResults(want))
+		}
+	}
+}
+
+func TestGroupWarmAllocFree(t *testing.T) {
+	idx, _, x, _ := groupFixture(t, 74)
+	pt := idx.PT
+	var verts []int32
+	for ni := range pt.Nodes {
+		if pt.Nodes[ni].IsLeaf() && len(pt.Nodes[ni].Vertices) >= 4 {
+			verts = pt.Nodes[ni].Vertices
+			break
+		}
+	}
+	qs := make([]knn.GroupQuery, 4)
+	for u := range qs {
+		qs[u] = knn.GroupQuery{Q: verts[u], K: 8}
+	}
+	dst := make([][]knn.Result, len(qs))
+	for u := range dst {
+		dst[u] = make([]knn.Result, 0, 16)
+	}
+	for i := 0; i < 3; i++ {
+		for u := range dst {
+			dst[u] = dst[u][:0]
+		}
+		x.KNNGroupAppend(qs, dst)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for u := range dst {
+			dst[u] = dst[u][:0]
+		}
+		x.KNNGroupAppend(qs, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm KNNGroupAppend allocates: %v allocs/run", allocs)
+	}
+}

@@ -27,6 +27,10 @@ type KNN struct {
 	out     []knn.Result
 	collect func(knn.Result) bool
 
+	// grp is the shared-expansion batch scratch (see group.go), created on
+	// the first KNNGroupAppend so single-query sessions stay lean.
+	grp *groupScratch
+
 	// PathCost reports the border-to-border additions of the last query
 	// (Figure 9b).
 	PathCost int
@@ -94,7 +98,7 @@ func (x *KNN) KNNStream(qv int32, k int, yield func(knn.Result) bool) {
 	leafQ := pt.LeafOf[qv]
 	if x.ol.Count(leafQ) > 0 {
 		if x.ImprovedLeaf {
-			found, stopped = x.leafSearchImproved(src, qv, k, q, yield)
+			found, stopped = x.leafSearchScan(src.leafLocal(), src.leafQ, k, q, yield)
 		} else {
 			x.leafSearchOriginal(src, qv, q)
 		}
@@ -189,15 +193,15 @@ func (x *KNN) enqueueLeafObjects(src *Source, ni int32, q *pqueue.Queue) {
 	}
 }
 
-// leafSearchImproved is Algorithm 4: a Dijkstra inside the source leaf,
+// leafSearchScan is Algorithm 4: a Dijkstra inside the source leaf,
 // augmented with the global border clique. Objects settled before any
 // border are immediate results (yielded right away); objects settled
 // afterwards are enqueued into the main queue with their exact distances.
 // The search stops after k settled leaf objects, or when the stream
-// consumer stops (stopped=true). found counts the results yielded.
-func (x *KNN) leafSearchImproved(src *Source, qv int32, k int, q *pqueue.Queue, yield func(knn.Result) bool) (found int, stopped bool) {
-	ls := src.leafLocal()
-	leaf := src.leafQ
+// consumer stops (stopped=true). found counts the results yielded. The scan
+// parameter lets shared-batch members run the same search over their own
+// restarted scan (see group.go).
+func (x *KNN) leafSearchScan(ls *leafScan, leaf int32, k int, q *pqueue.Queue, yield func(knn.Result) bool) (found int, stopped bool) {
 	n := &x.idx.nodes[leaf]
 	borderFound := false
 	targets := 0

@@ -35,6 +35,10 @@ type INE struct {
 	out     []knn.Result
 	collect func(knn.Result) bool
 
+	// grp is the shared-expansion batch scratch (see group.go), created on
+	// the first KNNGroupAppend so single-query sessions stay lean.
+	grp *groupState
+
 	// VisitedVertices counts vertices settled by the last query (an
 	// experiment statistic).
 	VisitedVertices int

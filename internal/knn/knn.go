@@ -90,6 +90,30 @@ func StreamKNN(m Method, q int32, k int, yield func(Result) bool) {
 	}
 }
 
+// GroupQuery is one member of a shared-expansion group: a kNN query that
+// executes together with spatially-clustered companions.
+type GroupQuery struct {
+	Q int32
+	K int
+}
+
+// BatchMethod is implemented by methods that can answer a group of
+// spatially-clustered kNN queries through one shared computation instead of
+// len(qs) independent searches. Exactness is preserved per member: query i's
+// answer is identical (up to tie order at the k-th distance, the SameResults
+// standard) to KNNAppend(qs[i].Q, qs[i].K, dst[i]).
+//
+// KNNGroupAppend appends query i's results to dst[i] and stores the
+// extended slice back into dst[i]; len(dst) must equal len(qs). Like
+// KNNAppend, steady-state calls with sufficient capacity in every dst slice
+// and a warm method value do not allocate. Group members are expected to be
+// close together (the caller groups by partition leaf cell); correctness
+// does not depend on it, only the speedup does.
+type BatchMethod interface {
+	Method
+	KNNGroupAppend(qs []GroupQuery, dst [][]Result)
+}
+
 // DistanceOracle answers point-to-point network distance queries; IER can
 // be composed with any of these (Section 5).
 type DistanceOracle interface {

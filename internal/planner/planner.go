@@ -5,11 +5,17 @@
 // and large k (Figures 10-11), and the crossovers are governed by k, the
 // object density, and the network size, with IER-PHL the overall winner
 // where its index fits (Table 5). The planner encodes that regime table as
-// a static cost model and refines it online with per-method latency EWMAs,
+// a cost model — coefficients fitted offline from accumulated benchmark
+// runs where available (see Model and cmd/fitcost), hand-seeded paper
+// priors where not — and refines it online with per-method latency EWMAs,
 // bucketed by (k, density) regime, observed from completed queries.
 //
-// A Planner is safe for concurrent use: observations and choices touch
-// only atomics.
+// The same cost surface drives batch execution: ChooseBatch decides whether
+// a group of clustered queries should run as one shared multi-source
+// expansion or fan out as independent queries.
+//
+// A Planner is safe for concurrent use: observations, choices and model
+// swaps touch only atomics.
 package planner
 
 import (
@@ -84,12 +90,40 @@ type Planner struct {
 	// read-modify-write is intentionally lossy under contention (both
 	// halves are atomic; a lost update only slows EWMA convergence).
 	ewma [][numKBuckets][numDBuckets]atomic.Int64
+
+	// model is the live cost prior (DefaultModel unless SetModel swapped in
+	// another fit).
+	model atomic.Pointer[Model]
+	// staleNeighbors is set by SetModel: the static priors the EWMAs were
+	// once compared against have changed, so the next density-decade
+	// crossing also forgets the neighboring decades (see NoteDensityShift).
+	staleNeighbors atomic.Bool
 }
 
-// New returns a Planner with no observations: choices start from the
-// static regime table.
+// New returns a Planner with no observations: choices start from
+// DefaultModel (the checked-in fitted cost table, or the paper-seeded
+// priors where no fit exists).
 func New() *Planner {
-	return &Planner{ewma: make([][numKBuckets][numDBuckets]atomic.Int64, numKinds)}
+	p := &Planner{ewma: make([][numKBuckets][numDBuckets]atomic.Int64, numKinds)}
+	p.model.Store(DefaultModel)
+	return p
+}
+
+// Model returns the live cost model.
+func (p *Planner) Model() *Model { return p.model.Load() }
+
+// SetModel swaps the cost prior (nil restores the hand-seeded paper
+// priors). Existing latency EWMAs are kept — they are measurements, not
+// priors — but the swap marks every density decade's static baseline as
+// changed, so the next churn-driven regime crossing also resets the decades
+// adjacent to the crossed one (their EWMAs were trained against the old
+// prior's crossovers; see NoteDensityShift). Safe for concurrent use.
+func (p *Planner) SetModel(m *Model) {
+	if m == nil {
+		m = seedModel()
+	}
+	p.model.Store(m)
+	p.staleNeighbors.Store(true)
 }
 
 // ewmaShift is the EWMA smoothing factor 1/2^3: new = old + (sample-old)/8.
@@ -97,7 +131,9 @@ const ewmaShift = 3
 
 // Observe folds one completed query's latency into the (kind, regime)
 // cell. Call it for every completed kNN query, whatever chose the method —
-// fixed-method traffic trains the planner too.
+// fixed-method traffic trains the planner too. (Shared-expansion batch
+// members are the exception: their amortized per-member latency is not a
+// single-query latency and must not train these cells.)
 func (p *Planner) Observe(kind core.MethodKind, f Features, d time.Duration) {
 	if int(kind) < 0 || int(kind) >= numKinds || d < 0 {
 		return
@@ -111,6 +147,15 @@ func (p *Planner) Observe(kind core.MethodKind, f Features, d time.Duration) {
 	cell.Store(old + (int64(d)-old)>>ewmaShift)
 }
 
+// resetDecade forgets every (kind, k) EWMA of one density decade.
+func (p *Planner) resetDecade(db int) {
+	for kind := range p.ewma {
+		for kb := 0; kb < numKBuckets; kb++ {
+			p.ewma[kind][kb][db].Store(0)
+		}
+	}
+}
+
 // NoteDensityShift tells the planner a category's live object count moved
 // from oldF to newF (an object-churn mutation: InsertObjects,
 // RemoveObjects, or a bulk re-registration). Within one density decade the
@@ -119,17 +164,24 @@ func (p *Planner) Observe(kind core.MethodKind, f Features, d time.Duration) {
 // paper's Figure 11 sweeps — the latency EWMAs stored for that bucket were
 // learned whenever traffic last ran at that density, possibly long ago and
 // over a very different object composition, so the planner forgets that
-// density column and falls back to the paper-seeded static model until
-// fresh post-churn traffic retrains it. Reports whether a regime boundary
-// was crossed. Safe for concurrent use.
+// density column and falls back to the model until fresh post-churn traffic
+// retrains it. If a SetModel reload has changed the static priors since the
+// last crossing, the decades adjacent to the crossed one are forgotten too:
+// their stored EWMAs only ever mattered relative to the old model's
+// crossovers, and the boundary regimes are where a reload moves decisions.
+// Reports whether a regime boundary was crossed. Safe for concurrent use.
 func (p *Planner) NoteDensityShift(oldF, newF Features) bool {
 	nb := dBucket(newF.Density())
 	if dBucket(oldF.Density()) == nb {
 		return false
 	}
-	for kind := range p.ewma {
-		for kb := 0; kb < numKBuckets; kb++ {
-			p.ewma[kind][kb][nb].Store(0)
+	p.resetDecade(nb)
+	if p.staleNeighbors.Swap(false) {
+		if nb > 0 {
+			p.resetDecade(nb - 1)
+		}
+		if nb < numDBuckets-1 {
+			p.resetDecade(nb + 1)
 		}
 	}
 	return true
@@ -144,82 +196,6 @@ func (p *Planner) observed(kind core.MethodKind, f Features) int64 {
 	return p.ewma[kind][kBucket(f.K)][dBucket(f.Density())].Load()
 }
 
-// Static cost model: expected query nanoseconds per method, seeded from
-// the paper's findings. The constants are coarse priors — what matters is
-// that they reproduce the regime crossovers (INE at high density, IER/
-// G-tree at low density and large k) so the first queries of an unseen
-// regime are sensible; EWMAs take over as traffic arrives.
-const (
-	// settleNanos is the cost of settling one vertex in a Dijkstra-style
-	// expansion (INE's unit, Section 6.2's optimized form).
-	settleNanos = 60
-	// candidateFactor approximates IER's verified candidates per result
-	// (Euclidean ordering is a good but not perfect proxy, Section 3.2).
-	candidateFactor = 2.5
-)
-
-// expansionCost estimates an INE-style expansion: settling ~k/D vertices
-// finds k objects under uniform density, capped at the whole network
-// (Section 7.3 — this is exactly why INE degrades as density falls).
-func expansionCost(f Features) float64 {
-	settled := 1.2 * float64(f.K) / f.Density()
-	if n := float64(f.NumVertices); settled > n {
-		settled = n
-	}
-	return settleNanos * settled
-}
-
-// oracleNanos estimates one point-to-point distance computation for each
-// IER oracle (Section 5's hierarchy: PHL microseconds and nearly flat in
-// |V|; TNR close behind; CH a bidirectional search growing with |V|;
-// MGtree assembly along the partition tree).
-func oracleNanos(kind core.MethodKind, n float64) float64 {
-	logn := math.Log2(math.Max(n, 2))
-	switch kind {
-	case core.IERPHL:
-		return 1500
-	case core.IERTNR:
-		return 2500
-	case core.IERCH:
-		return 600 * logn
-	case core.IERGt:
-		return 350 * logn
-	}
-	return 0
-}
-
-// staticCost is the prior for one (kind, features) pair, in nanoseconds.
-func staticCost(kind core.MethodKind, f Features) float64 {
-	n := float64(f.NumVertices)
-	k := float64(f.K)
-	logn := math.Log2(math.Max(n, 2))
-	switch kind {
-	case core.INE:
-		return expansionCost(f)
-	case core.IERDijk:
-		// One resumable Dijkstra serves every candidate, so the cost is an
-		// expansion out to the k-th object's radius — INE-shaped, plus the
-		// R-tree scan overhead that rarely pays off for Dijkstra (Fig. 4).
-		return 1.3 * expansionCost(f)
-	case core.IERCH, core.IERTNR, core.IERPHL, core.IERGt:
-		return candidateFactor * k * oracleNanos(kind, n)
-	case core.Gtree:
-		// Leaf Dijkstra plus ~k border-matrix assemblies up the partition
-		// tree (Algorithm 3/4); trails IER-PHL across the paper's k range
-		// (Figure 10) but beats every expansion at low density.
-		return 15000 + 250*k*logn
-	case core.ROAD:
-		// Same hierarchy as G-tree but consistently slower in the paper's
-		// runs (Figures 10-11): shortcut descent per settled vertex.
-		return 3 * (15000 + 250*k*logn)
-	case core.DisBrw, core.DisBrwOH:
-		// Quadratic index restricted to small networks; quickly dominated
-		// elsewhere (Figure 19).
-		return 20000 + 5000*k + n*10
-	}
-	return math.Inf(1)
-}
-
 // Choice is one planning decision: the selected method and a short
 // human-readable rationale (surfaced by pkg/rnknn's Explain).
 type Choice struct {
@@ -227,7 +203,7 @@ type Choice struct {
 	// Cost is the estimated or observed latency the choice was based on.
 	Cost time.Duration
 	// Observed reports whether Cost came from the regime's latency EWMA
-	// (true) or the static paper-seeded model (false).
+	// (true) or the static cost model (false).
 	Observed bool
 	// Reason is a one-line rationale for logs and Explain output.
 	Reason string
@@ -235,27 +211,83 @@ type Choice struct {
 
 // Choose picks the cheapest enabled method for the query's regime:
 // observed EWMA latency where this (method, k, density) cell has traffic,
-// the static regime model where it does not. Panics only if enabled is
-// empty (callers always have at least one method).
+// the cost model where it does not. Panics only if enabled is empty
+// (callers always have at least one method).
 func (p *Planner) Choose(enabled []core.MethodKind, f Features) Choice {
+	m := p.model.Load()
 	best := Choice{Kind: enabled[0], Cost: time.Duration(math.MaxInt64)}
 	for _, kind := range enabled {
 		var c Choice
 		if obs := p.observed(kind, f); obs > 0 {
 			c = Choice{Kind: kind, Cost: time.Duration(obs), Observed: true}
 		} else {
-			c = Choice{Kind: kind, Cost: time.Duration(staticCost(kind, f))}
+			c = Choice{Kind: kind, Cost: time.Duration(m.Cost(kind, f))}
 		}
 		// Strict < keeps the earlier (caller-preferred) method on ties.
 		if c.Cost < best.Cost {
 			best = c
 		}
 	}
-	src := "regime model"
+	src := m.source()
 	if best.Observed {
 		src = "observed EWMA"
 	}
 	best.Reason = fmt.Sprintf("auto: %s estimated at %v by %s (k=%d, density=%.2g, |V|=%d)",
 		best.Kind, best.Cost.Round(time.Microsecond), src, f.K, f.Density(), f.NumVertices)
 	return best
+}
+
+// BatchChoice is one batch-group execution decision (see ChooseBatch).
+type BatchChoice struct {
+	// Shared reports whether the group should run as one shared expansion
+	// (true) or fan out as independent queries (false).
+	Shared bool
+	// SingleCost is the one-query latency estimate the decision used.
+	SingleCost time.Duration
+	// GroupCost is the estimated total for the chosen execution.
+	GroupCost time.Duration
+	// Reason is a one-line rationale for Batch.Explain.
+	Reason string
+}
+
+// ChooseBatch decides how a batch group of size clustered queries of one
+// method kind should execute: as one shared multi-source expansion or as
+// independent fanned-out queries. The decision rides on the single-query
+// estimate for the group's regime (observed EWMA when the cell has traffic,
+// the model otherwise): sharing pays exactly when individual queries are
+// expensive — large search regions overlap heavily inside one partition
+// leaf, so the frontier's work is paid once for the whole group — and loses
+// when queries are cheap, where the multi-source frontier's per-vertex
+// width tax exceeds the savings. The crossover itself is a model
+// coefficient (Model.SharedMinSingleNanos), measured alongside the fitted
+// table.
+func (p *Planner) ChooseBatch(kind core.MethodKind, f Features, size int) BatchChoice {
+	m := p.model.Load()
+	single := float64(m.Cost(kind, f))
+	src := m.source()
+	if obs := p.observed(kind, f); obs > 0 {
+		single = float64(obs)
+		src = "observed EWMA"
+	}
+	bc := BatchChoice{SingleCost: time.Duration(single)}
+	fanout := single * float64(size)
+	if size < 2 {
+		bc.GroupCost = time.Duration(fanout)
+		bc.Reason = "fan-out: group too small to share"
+		return bc
+	}
+	if single < m.SharedMinSingleNanos {
+		bc.GroupCost = time.Duration(fanout)
+		bc.Reason = fmt.Sprintf("fan-out: %s single-query estimate %v below %v sharing crossover by %s",
+			kind, bc.SingleCost.Round(time.Microsecond),
+			time.Duration(m.SharedMinSingleNanos).Round(time.Microsecond), src)
+		return bc
+	}
+	bc.Shared = true
+	bc.GroupCost = time.Duration(m.SharedCost(single, size))
+	bc.Reason = fmt.Sprintf("shared expansion: %d×%s at %v/query ≥ %v sharing crossover by %s, group estimate %v vs %v fanned out",
+		size, kind, bc.SingleCost.Round(time.Microsecond),
+		time.Duration(m.SharedMinSingleNanos).Round(time.Microsecond), src,
+		bc.GroupCost.Round(time.Microsecond), time.Duration(fanout).Round(time.Microsecond))
+	return bc
 }

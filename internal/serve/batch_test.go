@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"rnknn/pkg/rnknn"
+)
+
+// postBatch posts queries to /batch and decodes the response.
+func postBatch(t *testing.T, url string, queries []BatchQuery) BatchResponse {
+	t.Helper()
+	body, err := json.Marshal(BatchRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return br
+}
+
+// TestBatchRidesCache proves /batch members ride the epoch-keyed result
+// cache: a member whose answer is already cached (by a single or an earlier
+// batch) never runs a search, intra-batch duplicates collapse onto one
+// execution, and a repeat of the whole batch is answered entirely from the
+// cache.
+func TestBatchRidesCache(t *testing.T) {
+	db := newTestDB(t)
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm one key through the single path.
+	if code := getJSON(t, fmt.Sprintf("%s/knn?q=10&k=3", ts.URL), nil); code != 200 {
+		t.Fatalf("warmup status %d", code)
+	}
+	queries := []BatchQuery{
+		{Query: 10, K: 3}, // cache hit (warmed above)
+		{Query: 20, K: 3}, // miss: leader
+		{Query: 20, K: 3}, // intra-batch duplicate of the leader
+		{Query: 21, K: 4}, // miss: leader
+	}
+	br := postBatch(t, ts.URL, queries)
+	if len(br.Results) != 4 {
+		t.Fatalf("got %d results", len(br.Results))
+	}
+	for i, q := range queries {
+		want, _ := db.BruteForceKNN(q.Query, q.K)
+		if br.Results[i].Error != "" {
+			t.Fatalf("member %d errored: %s", i, br.Results[i].Error)
+		}
+		if !rnknn.SameResults(toResults(br.Results[i].Results), want) {
+			t.Fatalf("member %d wrong answer", i)
+		}
+	}
+	if !br.Results[0].Cached {
+		t.Fatal("warmed member did not report a cache hit")
+	}
+	if br.Results[1].Cached || !br.Results[2].Cached {
+		t.Fatalf("duplicate handling: leader cached=%v dup cached=%v",
+			br.Results[1].Cached, br.Results[2].Cached)
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.BatchQueries != 4 || st.BatchCacheHits != 1 {
+		t.Fatalf("batch counters after first batch: %+v", st)
+	}
+
+	// The searches the batch ran are now cached: an exact repeat answers
+	// every member from the cache and runs nothing.
+	var before uint64
+	for _, ms := range db.Stats().Methods {
+		before += ms.KNNQueries
+	}
+	br = postBatch(t, ts.URL, queries)
+	for i := range br.Results {
+		if !br.Results[i].Cached {
+			t.Fatalf("repeat member %d not served from cache", i)
+		}
+	}
+	var after uint64
+	for _, ms := range db.Stats().Methods {
+		after += ms.KNNQueries
+	}
+	if after != before {
+		t.Fatalf("repeat batch ran %d searches, want 0", after-before)
+	}
+}
+
+// TestBatchCoalescesWithSingles holds a single /knn in flight behind the
+// test gate and proves a batch member with the identical key becomes a
+// follower of that single — the two paths share one coalescer map — while
+// the batch's other member proceeds as its own leader.
+func TestBatchCoalescesWithSingles(t *testing.T) {
+	db := newTestDB(t)
+	s := New(db, Config{MaxInFlight: 64})
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s.gate = func() { entered <- struct{}{}; <-release }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var single KNNResponse
+	go func() {
+		defer wg.Done()
+		getJSON(t, fmt.Sprintf("%s/knn?q=33&k=4", ts.URL), &single)
+	}()
+	<-entered // the single has claimed its key and is parked on the gate
+
+	wg.Add(1)
+	var br BatchResponse
+	go func() {
+		defer wg.Done()
+		br = postBatch(t, ts.URL, []BatchQuery{
+			{Query: 33, K: 4}, // identical to the in-flight single: follower
+			{Query: 34, K: 4}, // its own leader
+		})
+	}()
+	<-entered // the batch has registered its follower and is parked before Run
+	waitFor(t, func() bool { return s.co.coalesced.Load() == 1 })
+	close(release)
+	wg.Wait()
+
+	want33, _ := db.BruteForceKNN(33, 4)
+	want34, _ := db.BruteForceKNN(34, 4)
+	if !rnknn.SameResults(toResults(single.Results), want33) {
+		t.Fatal("single answer wrong")
+	}
+	if !br.Results[0].Cached || !rnknn.SameResults(toResults(br.Results[0].Results), want33) {
+		t.Fatalf("follower member: %+v", br.Results[0])
+	}
+	if br.Results[1].Cached || !rnknn.SameResults(toResults(br.Results[1].Results), want34) {
+		t.Fatalf("leader member: %+v", br.Results[1])
+	}
+	// Exactly two searches ran: the single's leader and the batch's own.
+	var total uint64
+	for _, ms := range db.Stats().Methods {
+		total += ms.KNNQueries
+	}
+	if total != 2 {
+		t.Fatalf("%d underlying searches, want 2", total)
+	}
+}
+
+// TestBatchSharedOnServer forces SharedOn and proves same-leaf members are
+// answered by shared-expansion groups end to end — marked on the wire,
+// counted in the server stats, and still exact.
+func TestBatchSharedOnServer(t *testing.T) {
+	db := newTestDB(t)
+	s := New(db, Config{BatchShared: rnknn.SharedOn})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// 32 consecutive vertices on the 12x14 grid: by pigeonhole several land
+	// in the same partition leaf, so SharedOn must form at least one group.
+	queries := make([]BatchQuery, 32)
+	for i := range queries {
+		queries[i] = BatchQuery{Query: int32(40 + i), K: 3, Method: "INE"}
+	}
+	br := postBatch(t, ts.URL, queries)
+	shared := 0
+	for i, q := range queries {
+		if br.Results[i].Error != "" {
+			t.Fatalf("member %d errored: %s", i, br.Results[i].Error)
+		}
+		want, _ := db.BruteForceKNN(q.Query, q.K)
+		if !rnknn.SameResults(toResults(br.Results[i].Results), want) {
+			t.Fatalf("member %d wrong answer", i)
+		}
+		if br.Results[i].Shared {
+			shared++
+		}
+	}
+	if shared < 2 {
+		t.Fatalf("only %d members shared, want >= 2", shared)
+	}
+	st := s.Stats()
+	if st.BatchShared != uint64(shared) {
+		t.Fatalf("BatchShared counter %d, want %d", st.BatchShared, shared)
+	}
+	if got := db.Stats().Batch; got.SharedQueries != uint64(shared) {
+		t.Fatalf("db shared-query counter %d, want %d", got.SharedQueries, shared)
+	}
+}

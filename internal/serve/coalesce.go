@@ -34,6 +34,34 @@ func newCoalescer() *coalescer {
 	return &coalescer{calls: map[cacheKey]*inflightCall{}}
 }
 
+// claim registers the caller as the leader for key if no identical call is
+// in flight, returning (call, true); the caller MUST publish the call when
+// its answer is final, or followers hang forever. Otherwise the caller is a
+// follower: it gets the in-flight call and false, and should wait on
+// call.done. Batch members and single requests claim through the same map,
+// so a batch leader absorbs concurrent identical singles and vice versa.
+func (co *coalescer) claim(key cacheKey) (*inflightCall, bool) {
+	co.mu.Lock()
+	if c, ok := co.calls[key]; ok {
+		co.mu.Unlock()
+		co.coalesced.Add(1)
+		return c, false
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	co.calls[key] = c
+	co.mu.Unlock()
+	return c, true
+}
+
+// publish finalizes a claimed call with its answer and wakes every follower.
+func (co *coalescer) publish(key cacheKey, c *inflightCall, res []rnknn.Result, epoch uint64, err error) {
+	c.res, c.epoch, c.err = res, epoch, err
+	co.mu.Lock()
+	delete(co.calls, key)
+	co.mu.Unlock()
+	close(c.done)
+}
+
 // do runs fn for key, unless an identical call is already in flight, in
 // which case it waits for that call's answer instead. Returns the results,
 // the epoch the search pinned, and whether this request was a follower.
@@ -41,10 +69,8 @@ func newCoalescer() *coalescer {
 // slow leader must not pin an impatient follower past its deadline — but
 // the leader itself always publishes to the remaining waiters.
 func (co *coalescer) do(ctx context.Context, key cacheKey, fn func() ([]rnknn.Result, uint64, error)) ([]rnknn.Result, uint64, bool, error) {
-	co.mu.Lock()
-	if c, ok := co.calls[key]; ok {
-		co.mu.Unlock()
-		co.coalesced.Add(1)
+	c, leader := co.claim(key)
+	if !leader {
 		select {
 		case <-c.done:
 			return c.res, c.epoch, true, c.err
@@ -52,14 +78,7 @@ func (co *coalescer) do(ctx context.Context, key cacheKey, fn func() ([]rnknn.Re
 			return nil, 0, true, ctx.Err()
 		}
 	}
-	c := &inflightCall{done: make(chan struct{})}
-	co.calls[key] = c
-	co.mu.Unlock()
-
-	c.res, c.epoch, c.err = fn()
-	co.mu.Lock()
-	delete(co.calls, key)
-	co.mu.Unlock()
-	close(c.done)
-	return c.res, c.epoch, false, c.err
+	res, epoch, err := fn()
+	co.publish(key, c, res, epoch, err)
+	return res, epoch, false, err
 }

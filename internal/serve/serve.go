@@ -23,7 +23,11 @@
 // entries k 0, so the key spaces are disjoint); /monitor streams one
 // db.Monitor session as Server-Sent Events, holding a single admission
 // slot for the session's lifetime and bypassing the cache (deltas are
-// per-session state — see monitor.go).
+// per-session state — see monitor.go). /batch rides the same layers
+// member-wise — per-member cache lookups, misses claiming the same
+// coalescer map as the singles — and then executes its leaders as ONE
+// db.Batch, whose grouping planner runs same-leaf clusters through shared
+// expansions (see rnknn.Batch).
 //
 // Queries and mutations take separate paths on purpose (the HTAP lesson:
 // co-designed, not shared): /objects/insert and /objects/remove bypass
@@ -60,6 +64,10 @@ type Config struct {
 	// MaxBatch bounds the queries accepted in one /batch request. <= 0
 	// means the default 4096.
 	MaxBatch int
+	// BatchShared sets the shared-expansion mode /batch executes with. The
+	// zero value is rnknn.SharedAuto (the planner's fitted cost model
+	// decides per group); SharedOff benchmarks the pooled fan-out baseline.
+	BatchShared rnknn.SharedMode
 }
 
 const (
@@ -70,13 +78,20 @@ const (
 
 // Server serves one rnknn.DB over HTTP. Create with New, mount Handler.
 type Server struct {
-	db       *rnknn.DB
-	adm      *admission
-	cache    *resultCache
-	co       *coalescer
-	maxBatch int
-	requests atomic.Uint64
-	mux      *http.ServeMux
+	db        *rnknn.DB
+	adm       *admission
+	cache     *resultCache
+	co        *coalescer
+	maxBatch  int
+	batchMode rnknn.SharedMode
+	requests  atomic.Uint64
+	// Batch-path counters: requests, member queries, members answered from
+	// the cache, and members answered by a shared-expansion group.
+	batches        atomic.Uint64
+	batchQueries   atomic.Uint64
+	batchCacheHits atomic.Uint64
+	batchShared    atomic.Uint64
+	mux            *http.ServeMux
 	// gate, when non-nil, runs on the cache-miss path immediately before
 	// the underlying query — a test hook that lets the coalescing and
 	// admission tests hold queries in flight deterministically.
@@ -95,11 +110,12 @@ func New(db *rnknn.DB, cfg Config) *Server {
 		cfg.MaxBatch = defaultMaxBatch
 	}
 	s := &Server{
-		db:       db,
-		adm:      newAdmission(cfg.MaxInFlight),
-		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
-		co:       newCoalescer(),
-		maxBatch: cfg.MaxBatch,
+		db:        db,
+		adm:       newAdmission(cfg.MaxInFlight),
+		cache:     newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		co:        newCoalescer(),
+		maxBatch:  cfg.MaxBatch,
+		batchMode: cfg.BatchShared,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -130,6 +146,10 @@ func (s *Server) Stats() ServerStats {
 		CacheEvictions: s.cache.evictions.Load(),
 		CacheEntries:   s.cache.len(),
 		Coalesced:      s.co.coalesced.Load(),
+		Batches:        s.batches.Load(),
+		BatchQueries:   s.batchQueries.Load(),
+		BatchCacheHits: s.batchCacheHits.Load(),
+		BatchShared:    s.batchShared.Load(),
 	}
 }
 
@@ -294,9 +314,21 @@ func (s *Server) writeRange(w http.ResponseWriter, key cacheKey, res []rnknn.Res
 	})
 }
 
-// handleBatch decodes a mixed kNN/range batch and runs it as one db.Batch
-// (bounded worker pool, one session checkout per worker per method).
-// Batches bypass the result cache: they are the bulk path.
+// handleBatch decodes a mixed kNN/range batch and runs it through the same
+// three layers as the single-query endpoints, then one db.Batch:
+//
+//  1. Every member does an epoch-keyed cache lookup; hits never reach a
+//     session.
+//  2. Each distinct missed key claims the coalescer: members whose key is
+//     already in flight (a concurrent /knn, /range, or another batch's
+//     leader) become followers and just wait; duplicates inside the batch
+//     collapse onto one leader.
+//  3. The leaders (plus unkeyable members — unknown categories and other
+//     per-member errors the library reports) execute as ONE db.Batch, so
+//     same-leaf clusters among them ride the shared-expansion path, and
+//     each answer is published to cache and followers under the epoch the
+//     search pinned.
+//  4. Followers collect their leaders' answers.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -311,47 +343,175 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)})
 		return
 	}
-	b := s.db.Batch()
+	n := len(req.Queries)
+	methods := make([]rnknn.Method, n)
+	methodNames := make([]string, n)
 	for i, q := range req.Queries {
-		var opts []rnknn.QueryOption
-		if q.Category != "" {
-			opts = append(opts, rnknn.WithCategory(q.Category))
-		}
+		methods[i] = rnknn.MethodAuto
+		methodNames[i] = rnknn.MethodAuto.String()
 		if q.Method != "" {
 			m, err := rnknn.ParseMethod(q.Method)
 			if err != nil {
 				writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("query %d: %v", i, err)})
 				return
 			}
-			opts = append(opts, rnknn.WithMethod(m))
+			methods[i] = m
+			methodNames[i] = m.String()
 		}
-		switch {
-		case q.Radius != nil && q.K > 0:
+		if q.Radius != nil && q.K > 0 {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("query %d: both k and radius set", i)})
 			return
-		case q.Radius != nil:
-			b.AddRange(q.Query, rnknn.Dist(*q.Radius), opts...)
-		default:
-			b.AddKNN(q.Query, q.K, opts...)
 		}
 	}
-	results, err := b.Run(r.Context())
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	resp := BatchResponse{Results: make([]BatchResultJSON, len(results))}
-	for i, br := range results {
-		out := BatchResultJSON{Query: br.Query, LatencyMicros: br.Latency.Microseconds()}
-		if br.Err != nil {
-			out.Error = br.Err.Error()
+	s.batches.Add(1)
+	s.batchQueries.Add(uint64(n))
+
+	// Phase 1: epoch-keyed cache lookups per member. An epoch lookup that
+	// fails (unknown category) leaves the member unkeyed; the inner batch
+	// reports the library's error for it.
+	out := make([]BatchResultJSON, n)
+	keys := make([]cacheKey, n)
+	keyed := make([]bool, n)
+	epochs := map[string]uint64{}
+	var miss []int
+	for i, q := range req.Queries {
+		category := q.Category
+		if category == "" {
+			category = rnknn.DefaultCategory
+		}
+		epoch, ok := epochs[category]
+		if !ok {
+			var err error
+			if epoch, err = s.db.Epoch(category); err != nil {
+				miss = append(miss, i)
+				continue
+			}
+			epochs[category] = epoch
+		}
+		if q.Radius != nil {
+			keys[i] = cacheKey{vertex: q.Query, radius: *q.Radius, epoch: epoch, category: category}
 		} else {
-			out.Method = br.Method.String()
-			out.Results = Results(br.Results)
+			keys[i] = cacheKey{vertex: q.Query, k: int32(q.K), radius: -1, epoch: epoch, category: category}
 		}
-		resp.Results[i] = out
+		keyed[i] = true
+		if res, ok := s.cache.get(keys[i]); ok {
+			s.batchCacheHits.Add(1)
+			out[i] = BatchResultJSON{Query: q.Query, Method: methodNames[i], Epoch: epoch, Cached: true, Results: Results(res)}
+			continue
+		}
+		miss = append(miss, i)
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	// Phase 2: claim or follow each distinct missed key.
+	type lead struct {
+		call    *inflightCall
+		members []int
+	}
+	type follow struct {
+		call   *inflightCall
+		member int
+	}
+	leaders := map[cacheKey]*lead{}
+	var followers []follow
+	var run []int // member indices this request executes (one per leader key, plus unkeyed members)
+	for _, i := range miss {
+		if !keyed[i] {
+			run = append(run, i)
+			continue
+		}
+		if l, ok := leaders[keys[i]]; ok {
+			l.members = append(l.members, i)
+			continue
+		}
+		call, leader := s.co.claim(keys[i])
+		if leader {
+			leaders[keys[i]] = &lead{call: call, members: []int{i}}
+			run = append(run, i)
+		} else {
+			followers = append(followers, follow{call: call, member: i})
+		}
+	}
+
+	// Phase 3: one db.Batch over the leaders — same-leaf clusters among them
+	// share expansions — then publish under the epoch each answer pinned.
+	if len(run) > 0 {
+		b := s.db.Batch().SharedExpansion(s.batchMode)
+		for _, i := range run {
+			q := req.Queries[i]
+			var opts []rnknn.QueryOption
+			if q.Category != "" {
+				opts = append(opts, rnknn.WithCategory(q.Category))
+			}
+			if q.Method != "" {
+				opts = append(opts, rnknn.WithMethod(methods[i]))
+			}
+			if q.Radius != nil {
+				b.AddRange(q.Query, rnknn.Dist(*q.Radius), opts...)
+			} else {
+				b.AddKNN(q.Query, q.K, opts...)
+			}
+		}
+		if s.gate != nil {
+			s.gate()
+		}
+		// Run only errors on ctx expiry, and then every member result carries
+		// the error — publish those too, so followers never hang.
+		results, _ := b.Run(r.Context())
+		for j, i := range run {
+			br := results[j]
+			if br.Shared {
+				s.batchShared.Add(1)
+			}
+			if !keyed[i] {
+				out[i] = batchResultJSON(br, false)
+				continue
+			}
+			l := leaders[keys[i]]
+			if br.Err == nil {
+				k := keys[i]
+				k.epoch = br.Epoch // possibly newer than the lookup epoch; never older
+				s.cache.put(k, br.Results)
+			}
+			s.co.publish(keys[i], l.call, br.Results, br.Epoch, br.Err)
+			for mj, mi := range l.members {
+				out[mi] = batchResultJSON(br, mj > 0)
+			}
+		}
+	}
+
+	// Phase 4: collect followers from their leaders (a concurrent single or
+	// another batch), honoring this request's own deadline.
+	for _, f := range followers {
+		i := f.member
+		select {
+		case <-f.call.done:
+			br := rnknn.BatchResult{Query: req.Queries[i].Query, Results: f.call.res, Err: f.call.err, Epoch: f.call.epoch}
+			out[i] = batchResultJSON(br, true)
+			if br.Err == nil {
+				// The leader's concrete method is not recorded on the call;
+				// echo what this member asked for, as /knn does for followers.
+				out[i].Method = methodNames[i]
+			}
+		case <-r.Context().Done():
+			out[i] = BatchResultJSON{Query: req.Queries[i].Query, Error: r.Context().Err().Error()}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+}
+
+// batchResultJSON converts one library batch result to its wire form;
+// cached marks answers served without running a search for this member
+// (intra-batch duplicates and coalesced followers).
+func batchResultJSON(br rnknn.BatchResult, cached bool) BatchResultJSON {
+	out := BatchResultJSON{Query: br.Query, LatencyMicros: br.Latency.Microseconds(), Cached: cached, Shared: br.Shared}
+	if br.Err != nil {
+		out.Error = br.Err.Error()
+	} else {
+		out.Method = br.Method.String()
+		out.Epoch = br.Epoch
+		out.Results = Results(br.Results)
+	}
+	return out
 }
 
 // handleObjects wraps one mutation (InsertObjects or RemoveObjects). The

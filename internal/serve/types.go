@@ -88,9 +88,18 @@ type BatchResponse struct {
 // failures (validation, unknown category, cancellation); it is empty on
 // success.
 type BatchResultJSON struct {
-	Query         int32        `json:"query"`
-	Method        string       `json:"method,omitempty"`
-	Error         string       `json:"error,omitempty"`
+	Query  int32  `json:"query"`
+	Method string `json:"method,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Epoch is the category epoch the answer was computed from, with the
+	// same guarantee as on KNNResponse.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Cached reports this member never ran a search: a result-cache hit, an
+	// intra-batch duplicate, or a follower of a concurrent identical query.
+	Cached bool `json:"cached,omitempty"`
+	// Shared reports a shared-expansion group answered this member (see
+	// rnknn.Batch).
+	Shared        bool         `json:"shared,omitempty"`
 	LatencyMicros int64        `json:"latency_us"`
 	Results       []ResultJSON `json:"results"`
 }
@@ -196,6 +205,16 @@ type ServerStats struct {
 	CacheEvictions uint64 `json:"cache_evictions"`
 	CacheEntries   int    `json:"cache_entries"`
 	// Coalesced counts requests that waited on an identical in-flight query
-	// instead of running their own (the followers, not the leader).
+	// instead of running their own (the followers, not the leader). Batch
+	// members coalesce through the same map as singles and count here too.
 	Coalesced uint64 `json:"coalesced"`
+	// Batches counts POST /batch requests accepted; BatchQueries their
+	// member queries. BatchCacheHits counts members answered straight from
+	// the result cache, and BatchShared members answered by a
+	// shared-expansion group (the library's group split is under
+	// db.batch).
+	Batches        uint64 `json:"batches"`
+	BatchQueries   uint64 `json:"batch_queries"`
+	BatchCacheHits uint64 `json:"batch_cache_hits"`
+	BatchShared    uint64 `json:"batch_shared"`
 }

@@ -8,15 +8,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rnknn/internal/core"
+	"rnknn/internal/dijkstra"
 	"rnknn/internal/knn"
 )
 
-// Batch collects kNN and range queries and executes them together: Run
-// fans the queries across a bounded worker pool, and each worker checks
-// out at most one pooled session per method for its whole share of the
-// batch instead of once per query — the per-query pool round-trip and
-// interrupt setup are amortized away, which is what makes a batch the
-// natural unit of work for a server front end draining a request queue.
+// Batch collects kNN and range queries and executes them together. Run
+// first groups the kNN queries by (object category, resolved method,
+// partition leaf): queries clustered in one leaf cell of the road network
+// overlap heavily in search region, and a group of them runs as ONE shared
+// expansion — a multi-source frontier (INE) or a shared border-distance
+// computation (G-tree) that pays the graph traversal once for the whole
+// group while preserving each member's exact answer. Whether a group
+// shares or fans out is decided by the planner's fitted cost model
+// (SharedAuto, the default): sharing wins when individual queries are
+// expensive (sparse objects, large k), and loses when they are cheap.
+// Everything else — range queries, scattered queries, non-expansion
+// methods — fans across a bounded worker pool, and each worker checks out
+// at most one pooled session per method for its whole share of the batch,
+// so the per-query pool round-trip is amortized away either way.
 //
 //	results, err := db.Batch().
 //		AddKNN(q1, 10).
@@ -30,6 +40,7 @@ import (
 type Batch struct {
 	db      *DB
 	workers int
+	shared  SharedMode
 	ops     []batchOp
 }
 
@@ -40,6 +51,20 @@ type batchOp struct {
 	radius  Dist
 	qo      queryOpts
 }
+
+// SharedMode controls the shared-expansion grouping decision.
+type SharedMode int
+
+const (
+	// SharedAuto (the default) lets the planner's fitted cost model decide
+	// per group whether sharing beats fanning out.
+	SharedAuto SharedMode = iota
+	// SharedOn forces every eligible group (≥2 same-leaf queries on an
+	// expansion method) through the shared path.
+	SharedOn
+	// SharedOff disables sharing: every query fans out individually.
+	SharedOff
+)
 
 // BatchResult is the outcome of one query in a batch, at the same index
 // Add* placed it.
@@ -56,17 +81,33 @@ type BatchResult struct {
 	// here per query, never as a panic, so one bad query cannot sink the
 	// batch.
 	Err error
-	// Latency is this query's execution time (zero when it never ran).
+	// Latency is this query's execution time (zero when it never ran). For
+	// a query answered by a shared group it is the group's elapsed time
+	// divided by the group size — the amortized cost sharing exists for.
 	Latency time.Duration
+	// Shared reports that a shared-expansion group answered this query.
+	Shared bool
+	// Epoch is the category epoch the answer was computed from (see
+	// DB.Epoch) — the exact object-set version, so callers can cache the
+	// answer with epoch-keyed invalidation. Left zero when Err is non-nil
+	// (note a never-mutated category's epoch is itself 0).
+	Epoch uint64
 }
 
 // Batch starts an empty batch bound to the DB.
 func (db *DB) Batch() *Batch { return &Batch{db: db} }
 
 // Workers bounds the worker pool; n <= 0 (the default) means GOMAXPROCS.
-// The effective pool is never larger than the number of queries.
+// The effective pool is never larger than the number of work units.
 func (b *Batch) Workers(n int) *Batch {
 	b.workers = n
+	return b
+}
+
+// SharedExpansion sets the grouping mode (default SharedAuto), returning b
+// for chaining.
+func (b *Batch) SharedExpansion(m SharedMode) *Batch {
+	b.shared = m
 	return b
 }
 
@@ -87,6 +128,147 @@ func (b *Batch) AddRange(q int32, radius Dist, opts ...QueryOption) *Batch {
 // Len returns the number of queries added so far.
 func (b *Batch) Len() int { return len(b.ops) }
 
+// BatchGroup describes one same-leaf cluster the grouping planner found,
+// and its execution decision.
+type BatchGroup struct {
+	// Method is the resolved method the group's members share.
+	Method Method
+	// Category is the members' object category.
+	Category string
+	// Leaf is the partition leaf the members cluster in.
+	Leaf int32
+	// Size is the number of member queries.
+	Size int
+	// Shared reports the decision: one shared expansion (true) or
+	// individual fan-out (false).
+	Shared bool
+	// Reason is the planner's one-line rationale for the decision.
+	Reason string
+}
+
+// BatchPlan is Batch.Explain's report: how Run would execute the batch.
+type BatchPlan struct {
+	// Groups lists the same-leaf clusters considered for sharing, in first-
+	// query order, each with its decision and rationale.
+	Groups []BatchGroup
+	// SharedQueries counts queries that would run inside shared groups.
+	SharedQueries int
+	// FanoutQueries counts queries that would fan out individually (range
+	// queries, non-expansion methods, scattered or below-crossover groups).
+	FanoutQueries int
+}
+
+// Explain reports how Run would execute the batch — the grouping planner's
+// clusters and per-group shared-vs-fanout decisions — without running any
+// query. The planner adapts to observed latency, so consecutive Explains
+// may differ.
+func (b *Batch) Explain() BatchPlan {
+	units, singles := b.db.planBatch(context.Background(), b.ops, b.shared)
+	p := BatchPlan{FanoutQueries: len(singles)}
+	for _, u := range units {
+		p.Groups = append(p.Groups, BatchGroup{
+			Method: u.m, Category: u.cat, Leaf: u.leaf,
+			Size: len(u.ops), Shared: u.sharedRun, Reason: u.reason,
+		})
+		if u.sharedRun {
+			p.SharedQueries += len(u.ops)
+		} else {
+			p.FanoutQueries += len(u.ops)
+		}
+	}
+	return p
+}
+
+// planUnit is one same-leaf cluster with its execution decision and the
+// category epoch it is pinned to.
+type planUnit struct {
+	ops       []int // indices into Batch.ops
+	m         Method
+	cat       string
+	leaf      int32
+	bind      *core.Binding
+	maxK      int
+	sharedRun bool
+	reason    string
+}
+
+// groupKey identifies one shareable cluster.
+type groupKey struct {
+	cat  string
+	m    Method
+	leaf int32
+}
+
+// planBatch is the grouping planner: it buckets group-eligible kNN queries
+// by (category, resolved method, partition leaf), caps each bucket at the
+// shared frontier's width, and decides shared-vs-fanout per group. Queries
+// that are not group-eligible — range queries, methods without a shared
+// path, validation failures (left for runBatchOp to report) — come back in
+// singles. Group units pin the category epoch their members will answer
+// from.
+func (db *DB) planBatch(ctx context.Context, ops []batchOp, mode SharedMode) ([]planUnit, []int) {
+	var units []planUnit
+	var singles []int
+	byKey := map[groupKey]int{} // key -> index of its open unit
+	for i := range ops {
+		op := &ops[i]
+		if op.isRange || op.k <= 0 || mode == SharedOff {
+			singles = append(singles, i)
+			continue
+		}
+		if db.checkKNNMethod(op.qo.method) != nil {
+			singles = append(singles, i)
+			continue
+		}
+		bind, err := db.checkQuery(ctx, op.q, op.qo)
+		if err != nil {
+			singles = append(singles, i)
+			continue
+		}
+		m := db.resolveMethod(op.qo.method, op.k, bind)
+		if m != INE && m != Gtree {
+			singles = append(singles, i)
+			continue
+		}
+		key := groupKey{cat: op.qo.category, m: m, leaf: db.batchPartition().LeafOf[op.q]}
+		ui, open := byKey[key]
+		// Buckets split at the shared frontier's width: a wider group would
+		// overflow the multi-source improvement masks.
+		if open && len(units[ui].ops) >= dijkstra.MaxWidth {
+			open = false
+		}
+		if !open {
+			ui = len(units)
+			byKey[key] = ui
+			units = append(units, planUnit{m: m, cat: key.cat, leaf: key.leaf, bind: bind})
+		}
+		u := &units[ui]
+		u.ops = append(u.ops, i)
+		if op.k > u.maxK {
+			u.maxK = op.k
+		}
+	}
+	// Decide each unit; members of non-shared units fan out individually.
+	for ui := range units {
+		u := &units[ui]
+		switch {
+		case len(u.ops) < 2:
+			u.reason = "fan-out: group too small to share"
+		case mode == SharedOn:
+			u.sharedRun = true
+			u.reason = fmt.Sprintf("shared expansion: forced by SharedOn (%d members)", len(u.ops))
+		default:
+			bc := db.plan.ChooseBatch(u.m.kind(), db.features(u.maxK, u.bind), len(u.ops))
+			u.sharedRun = bc.Shared
+			u.reason = bc.Reason
+		}
+		if !u.sharedRun {
+			singles = append(singles, u.ops...)
+		}
+	}
+	return units, singles
+}
+
 // Run executes every added query and returns one BatchResult per query, in
 // Add* order. Per-query failures (validation, unknown category, ...) land
 // in the corresponding BatchResult.Err and do not affect other queries.
@@ -98,12 +280,27 @@ func (b *Batch) Run(ctx context.Context) ([]BatchResult, error) {
 	if len(b.ops) == 0 {
 		return out, ctx.Err()
 	}
+	units, singles := b.db.planBatch(ctx, b.ops, b.shared)
+	shared := units[:0:0]
+	for _, u := range units {
+		if u.sharedRun {
+			shared = append(shared, u)
+		}
+	}
+	b.db.batchStats.batches.Add(1)
+	b.db.batchStats.sharedGroups.Add(uint64(len(shared)))
+	for _, u := range shared {
+		b.db.batchStats.sharedQueries.Add(uint64(len(u.ops)))
+	}
+	b.db.batchStats.fanoutQueries.Add(uint64(len(singles)))
+
+	nUnits := len(shared) + len(singles)
 	workers := b.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(b.ops) {
-		workers = len(b.ops)
+	if workers > nUnits {
+		workers = nUnits
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -111,19 +308,20 @@ func (b *Batch) Run(ctx context.Context) ([]BatchResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			b.db.batchWorker(ctx, b.ops, out, &next)
+			b.db.batchWorker(ctx, b.ops, out, shared, singles, &next)
 		}()
 	}
 	wg.Wait()
 	return out, ctx.Err()
 }
 
-// batchWorker drains queries from the shared cursor. Sessions are checked
-// out from the pools at most once per (worker, method) and returned when
-// the worker's share is drained — the batch amortization this API exists
-// for. After cancellation the worker keeps draining, marking each
-// remaining query with ctx's error, so every result slot is filled.
-func (db *DB) batchWorker(ctx context.Context, ops []batchOp, out []BatchResult, next *atomic.Int64) {
+// batchWorker drains work units (shared groups first, then the fan-out
+// singles) from the shared cursor. Sessions are checked out from the pools
+// at most once per (worker, method) and returned when the worker's share is
+// drained — the batch amortization this API exists for. After cancellation
+// the worker keeps draining, marking each remaining query with ctx's error,
+// so every result slot is filled.
+func (db *DB) batchWorker(ctx context.Context, ops []batchOp, out []BatchResult, shared []planUnit, singles []int, next *atomic.Int64) {
 	var sess [numMethods]*pooledSession
 	defer func() {
 		for m, ps := range sess {
@@ -134,10 +332,75 @@ func (db *DB) batchWorker(ctx context.Context, ops []batchOp, out []BatchResult,
 	}()
 	for {
 		i := int(next.Add(1)) - 1
-		if i >= len(ops) {
+		if i >= len(shared)+len(singles) {
 			return
 		}
-		out[i] = db.runBatchOp(ctx, &ops[i], &sess)
+		if i < len(shared) {
+			db.runBatchGroup(ctx, ops, &shared[i], out, &sess)
+		} else {
+			j := singles[i-len(shared)]
+			out[j] = db.runBatchOp(ctx, &ops[j], &sess)
+		}
+	}
+}
+
+// runBatchGroup answers one shared group through a single KNNGroupAppend on
+// the group's method session. Every member answers from the unit's pinned
+// category epoch; each member's Latency is the group's elapsed time divided
+// by the group size. Shared members feed the per-method query counters but
+// NOT the planner's latency EWMA — an amortized group latency is not a
+// single-query latency and would corrupt the regime cells the grouping
+// decision itself reads.
+func (db *DB) runBatchGroup(ctx context.Context, ops []batchOp, u *planUnit, out []BatchResult, sess *[numMethods]*pooledSession) {
+	fail := func(err error) {
+		for _, i := range u.ops {
+			out[i] = BatchResult{Query: ops[i].q, Err: err}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	ps := sess[u.m]
+	if ps == nil {
+		var err error
+		if ps, err = db.pools[u.m].get(u.bind); err != nil {
+			fail(err)
+			return
+		}
+		sess[u.m] = ps
+	} else {
+		ps.sess.Rebind(u.bind)
+	}
+	bm, ok := ps.sess.(knn.BatchMethod)
+	if !ok {
+		// Unreachable for the methods planBatch groups; answer individually
+		// rather than fail if a future method slips through.
+		for _, i := range u.ops {
+			out[i] = db.runBatchOp(ctx, &ops[i], sess)
+		}
+		return
+	}
+	qs := make([]knn.GroupQuery, len(u.ops))
+	dst := make([][]knn.Result, len(u.ops))
+	for j, i := range u.ops {
+		qs[j] = knn.GroupQuery{Q: ops[i].q, K: ops[i].k}
+	}
+	ps.arm(ctx)
+	start := time.Now()
+	bm.KNNGroupAppend(qs, dst)
+	elapsed := time.Since(start)
+	ps.disarm()
+	if err := ctx.Err(); err != nil {
+		// The expansion may have been cut short; drop the partial answers,
+		// as KNN does.
+		fail(err)
+		return
+	}
+	per := elapsed / time.Duration(len(u.ops))
+	for j, i := range u.ops {
+		out[i] = BatchResult{Query: ops[i].q, Method: u.m, Results: dst[j], Latency: per, Shared: true, Epoch: u.bind.Epoch}
+		db.stats.recordKNN(u.m, per)
 	}
 }
 
@@ -200,6 +463,7 @@ func (db *DB) runBatchOp(ctx context.Context, op *batchOp, sess *[numMethods]*po
 	}
 	res.Results = make([]Result, len(ps.buf))
 	copy(res.Results, ps.buf)
+	res.Epoch = b.Epoch
 	if op.isRange {
 		db.stats.recordRange(res.Latency)
 	} else {

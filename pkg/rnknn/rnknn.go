@@ -80,6 +80,7 @@ import (
 	"rnknn/internal/core"
 	"rnknn/internal/graph"
 	"rnknn/internal/knn"
+	"rnknn/internal/partition"
 	"rnknn/internal/planner"
 )
 
@@ -173,11 +174,33 @@ type DB struct {
 	cats map[string]*category
 
 	stats registry
+	// batchStats aggregates batch execution counters (see Batch and Stats).
+	batchStats batchCounters
 	// mon aggregates continuous-query counters (see Monitor).
 	mon monitorCounters
 	// plan resolves MethodAuto queries and learns from every completed
 	// kNN query's latency (see MethodAuto and Explain).
 	plan *planner.Planner
+
+	// batchPT is the leaf partition the batch grouping planner clusters
+	// queries by, built lazily by batchPartition on the first batch.
+	batchPTOnce sync.Once
+	batchPT     *partition.Tree
+}
+
+// batchPartition returns the partition tree batch grouping keys on: the
+// G-tree's own partition when that index is built (its leaves are exactly
+// the locality unit the shared G-tree path requires), otherwise a
+// standalone partition of the road network, built once on first use.
+func (db *DB) batchPartition() *partition.Tree {
+	db.batchPTOnce.Do(func() {
+		if db.enabled[Gtree] {
+			db.batchPT = db.eng.GtreeIndex().PT
+			return
+		}
+		db.batchPT = partition.Build(db.g, partition.Options{Fanout: 4})
+	})
+	return db.batchPT
 }
 
 // Open builds a DB over g. The road-network index of every selected method

@@ -29,6 +29,37 @@ type MethodStats struct {
 	MaxLatency   time.Duration
 }
 
+// BatchStats aggregates batch execution: how many batches ran and how
+// their queries split between shared-expansion groups and individual
+// fan-out (see Batch).
+type BatchStats struct {
+	// Batches counts Batch.Run calls that executed at least one query.
+	Batches uint64
+	// SharedGroups counts shared-expansion groups executed.
+	SharedGroups uint64
+	// SharedQueries counts queries answered inside shared groups.
+	SharedQueries uint64
+	// FanoutQueries counts batch queries that fanned out individually.
+	FanoutQueries uint64
+}
+
+// batchCounters is the lock-free aggregate behind BatchStats.
+type batchCounters struct {
+	batches       atomic.Uint64
+	sharedGroups  atomic.Uint64
+	sharedQueries atomic.Uint64
+	fanoutQueries atomic.Uint64
+}
+
+func (c *batchCounters) snapshot() BatchStats {
+	return BatchStats{
+		Batches:       c.batches.Load(),
+		SharedGroups:  c.sharedGroups.Load(),
+		SharedQueries: c.sharedQueries.Load(),
+		FanoutQueries: c.fanoutQueries.Load(),
+	}
+}
+
 // Stats is a point-in-time snapshot of the DB's observability counters.
 type Stats struct {
 	// Indexes maps index name ("Gtree", "PHL", ...) to its build cost.
@@ -45,6 +76,9 @@ type Stats struct {
 	// Monitor aggregates continuous-query work (see DB.Monitor): route
 	// steps served, and the avoided/re-run split.
 	Monitor MonitorStats
+	// Batch aggregates batch execution (see DB.Batch): shared-expansion
+	// groups versus individual fan-out.
+	Batch BatchStats
 }
 
 // counters is one method's lock-free aggregate.
@@ -100,6 +134,7 @@ func (db *DB) Stats() Stats {
 		Categories: map[string]int{},
 		Epochs:     map[string]uint64{},
 		Monitor:    db.mon.snapshot(),
+		Batch:      db.batchStats.snapshot(),
 	}
 	for name, info := range db.eng.BuiltIndexes() {
 		s.Indexes[name] = IndexStats{BuildTime: info.BuildTime, SizeBytes: info.SizeBytes, Loaded: info.Loaded}
