@@ -11,8 +11,11 @@
 package rnknn
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -659,4 +662,110 @@ func BenchmarkObjectChurn(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Snapshot open paths: verified decode vs zero-copy mmap ---
+
+// BenchmarkOpenFromSnapshot is the warm-start acceptance benchmark: one
+// self-contained snapshot of the shared bench DB (graph + G-tree + PHL
+// indexes), opened per op either through the fully verified streaming
+// decode (mode=decode) or through the mmap zero-copy path (mode=mmap,
+// rnknn.OpenSnapshotFile). Answers must match the building DB before any
+// timing. Both modes report open-ms and the snapshot size; the mmap mode
+// additionally reports its speedup over decode and hard-fails below 10x,
+// so the "warm start costs page faults, not a decode of every byte" claim
+// is enforced on every PR. CI folds both modes into BENCH_pr.json.
+func BenchmarkOpenFromSnapshot(b *testing.B) {
+	db, qs := sharedBenchDB(b)
+	g := db.Graph()
+	methods := []api.Method{api.INE, api.IERPHL, api.Gtree}
+	path := filepath.Join(b.TempDir(), "bench.rnks")
+	if err := db.SaveIndexesFile(path); err != nil {
+		b.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snapMB := float64(len(data)) / (1 << 20)
+
+	// Exactness gate before any timing: both open paths must load (not
+	// rebuild) every index and answer exactly like the DB that built them.
+	withObjs := api.WithObjects(api.DefaultCategory, gen.Uniform(g, 0.001, 21))
+	checkOpen := func(open func() (*api.DB, error)) {
+		b.Helper()
+		d, err := open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		for name, ix := range d.Stats().Indexes {
+			if !ix.Loaded {
+				b.Fatalf("index %s rebuilt instead of loaded", name)
+			}
+		}
+		ctx := context.Background()
+		for _, m := range methods {
+			for _, q := range qs[:8] {
+				want, err := db.KNN(ctx, q, 10, api.WithMethod(m))
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := d.KNN(ctx, q, 10, api.WithMethod(m))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !api.SameResults(got, want) {
+					b.Fatalf("%v q=%d: reopened DB answers differently", m, q)
+				}
+			}
+		}
+	}
+	checkOpen(func() (*api.DB, error) {
+		return api.OpenFromSnapshot(g, bytes.NewReader(data), api.WithMethods(methods...), withObjs)
+	})
+	checkOpen(func() (*api.DB, error) {
+		return api.OpenSnapshotFile(path, api.WithMethods(methods...), withObjs)
+	})
+
+	var decodeNs, mmapNs float64
+	b.Run("mode=decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := api.OpenFromSnapshot(g, bytes.NewReader(data), api.WithMethods(methods...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		decodeNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(decodeNs/1e6, "open-ms")
+		b.ReportMetric(snapMB, "snap-MB")
+	})
+	b.Run("mode=mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, err := api.OpenSnapshotFile(path, api.WithMethods(methods...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mmapNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(mmapNs/1e6, "open-ms")
+		b.ReportMetric(snapMB, "snap-MB")
+		if decodeNs > 0 && mmapNs > 0 {
+			speedup := decodeNs / mmapNs
+			b.ReportMetric(speedup, "speedup")
+			if speedup < 10 {
+				b.Fatalf("mmap open only %.1fx faster than decode, want >= 10x", speedup)
+			}
+		}
+	})
 }

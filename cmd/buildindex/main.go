@@ -5,6 +5,13 @@
 //	buildindex -network NW -methods IER-PHL,Gtree -o nw.rnks
 //	buildindex -network DE -methods all -verify
 //
+// Snapshots are self-contained (graph included), so rnknn.OpenSnapshotFile
+// and rnknnd -snapshot open them zero-copy with no other input. Two more
+// modes feed the continental-scale path:
+//
+//	buildindex -graph NY.rnkn -methods Gtree -o ny.rnks       # a gendata -dimacs import
+//	buildindex -network DE -shards 4 -o de-shards -verify     # a shard set for rnknnd -shards
+//
 // The snapshot format is specified in docs/SNAPSHOT_FORMAT.md.
 package main
 
@@ -24,18 +31,15 @@ import (
 
 func main() {
 	var (
-		network = flag.String("network", "NW", "ladder network name")
-		methods = flag.String("methods", "IER-PHL,Gtree", "comma-separated method names whose indexes to build, or 'all'")
-		out     = flag.String("o", "", "output snapshot path (default <network>.rnks)")
-		timeW   = flag.Bool("traveltime", false, "use travel-time weights")
-		verify  = flag.Bool("verify", false, "re-open the written snapshot and check every index loads")
+		network   = flag.String("network", "NW", "ladder network name")
+		graphFile = flag.String("graph", "", "read the road network from a .rnkn graph file (see gendata -dimacs-gr) instead of -network")
+		methods   = flag.String("methods", "IER-PHL,Gtree", "comma-separated method names whose indexes to build, or 'all'")
+		out       = flag.String("o", "", "output snapshot path (default <network>.rnks); with -shards, the shard set directory (default <network>-shards)")
+		timeW     = flag.Bool("traveltime", false, "use travel-time weights")
+		shards    = flag.Int("shards", 0, "emit a shard set for rnknn.OpenSharded / rnknnd -shards instead of a single snapshot")
+		verify    = flag.Bool("verify", false, "re-open what was written and check every index loads")
 	)
 	flag.Parse()
-
-	spec, ok := gen.LadderSpec(*network)
-	if !ok {
-		usageExit("unknown network %q", *network)
-	}
 	var ms []rnknn.Method
 	if *methods == "all" {
 		ms = rnknn.Methods()
@@ -51,16 +55,38 @@ func main() {
 	if len(ms) == 0 {
 		usageExit("-methods selected no methods")
 	}
-	path := *out
-	if path == "" {
-		path = spec.Name + ".rnks"
-	}
 
-	g := gen.Network(spec)
+	var g *graph.Graph
+	if *graphFile != "" {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graph:", err)
+			os.Exit(1)
+		}
+		g, err = graph.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graph:", err)
+			os.Exit(1)
+		}
+	} else {
+		spec, ok := gen.LadderSpec(*network)
+		if !ok {
+			usageExit("unknown network %q", *network)
+		}
+		g = gen.Network(spec)
+	}
 	if *timeW {
 		g = g.View(graph.TravelTime)
 	}
-	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
+	path := *out
+	if path == "" {
+		path = g.Name + ".rnks"
+		if *shards > 0 {
+			path = g.Name + "-shards"
+		}
+	}
+	fmt.Printf("network %s: |V|=%d |E|=%d (%s weights)\n", g.Name, g.NumVertices(), g.NumEdges()/2, g.Kind)
 
 	start := time.Now()
 	db, err := rnknn.Open(g, rnknn.WithMethods(ms...))
@@ -70,6 +96,34 @@ func main() {
 	}
 	fmt.Printf("built %d method(s) in %s\n", len(ms), time.Since(start).Round(time.Millisecond))
 	printIndexes(db.Stats())
+
+	if *shards > 0 {
+		start = time.Now()
+		if err := db.SaveShardSet(path, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "save shards:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d-shard set %s in %s\n", *shards, path, time.Since(start).Round(time.Millisecond))
+		if *verify {
+			start = time.Now()
+			sdb, err := rnknn.OpenSharded(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "verify:", err)
+				os.Exit(1)
+			}
+			defer sdb.Close()
+			for i := 0; i < sdb.NumShards(); i++ {
+				for name, ix := range sdb.Shard(i).Stats().Indexes {
+					if !ix.Loaded {
+						fmt.Fprintf(os.Stderr, "verify: shard %d index %s was rebuilt, not loaded\n", i, name)
+						os.Exit(1)
+					}
+				}
+			}
+			fmt.Printf("verify: opened %d shards (zero-copy) in %s\n", sdb.NumShards(), time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
 
 	start = time.Now()
 	if err := db.SaveIndexesFile(path); err != nil {

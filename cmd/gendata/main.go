@@ -1,11 +1,21 @@
 // Command gendata generates the synthetic dataset ladder and prints its
 // statistics (the Table 1 / Table 2 analogues), for inspecting what the
 // experiment harness runs on.
+//
+// It also imports real road networks from the 9th DIMACS Implementation
+// Challenge (see cmd/README.md for download instructions):
+//
+//	gendata -dimacs-gr USA-road-d.NY.gr.gz -dimacs-co USA-road-d.NY.co.gz -o NY.rnkn
+//
+// The written .rnkn graph file feeds buildindex -graph and from there the
+// sharded serving path.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"rnknn/internal/cliutil"
 	"rnknn/internal/gen"
@@ -14,10 +24,22 @@ import (
 
 func main() {
 	var (
-		name = flag.String("network", "", "single ladder network to describe (default: all)")
-		pois = flag.Bool("pois", false, "also list POI categories per network")
+		name     = flag.String("network", "", "single ladder network to describe (default: all)")
+		pois     = flag.Bool("pois", false, "also list POI categories per network")
+		dimacsGr = flag.String("dimacs-gr", "", "DIMACS .gr[.gz] graph file to import (with -dimacs-co and -o)")
+		dimacsCo = flag.String("dimacs-co", "", "DIMACS .co[.gz] coordinate file to import")
+		outPath  = flag.String("o", "", "output .rnkn graph file for -dimacs import")
+		outName  = flag.String("name", "", "graph name for -dimacs import (default: output file base name)")
 	)
 	flag.Parse()
+
+	if *dimacsGr != "" || *dimacsCo != "" {
+		if *dimacsGr == "" || *dimacsCo == "" || *outPath == "" {
+			cliutil.UsageExit("", "-dimacs-gr, -dimacs-co, and -o must be given together")
+		}
+		importDIMACS(*dimacsGr, *dimacsCo, *outPath, *outName)
+		return
+	}
 
 	specs := gen.Ladder()
 	if *name != "" {
@@ -39,6 +61,56 @@ func main() {
 			}
 		}
 	}
+}
+
+// importDIMACS converts a DIMACS .gr/.co pair to the library's graph file
+// format.
+func importDIMACS(grPath, coPath, outPath, name string) {
+	if name == "" {
+		base := outPath
+		if i := len(base) - len(".rnkn"); i > 0 && base[i:] == ".rnkn" {
+			base = base[:i]
+		}
+		for i := len(base) - 1; i >= 0; i-- {
+			if base[i] == '/' {
+				base = base[i+1:]
+				break
+			}
+		}
+		name = base
+	}
+	grF, err := os.Open(grPath)
+	if err != nil {
+		fatal("dimacs:", err)
+	}
+	defer grF.Close()
+	coF, err := os.Open(coPath)
+	if err != nil {
+		fatal("dimacs:", err)
+	}
+	defer coF.Close()
+	start := time.Now()
+	g, err := gen.ReadDIMACS(grF, coF, name)
+	if err != nil {
+		fatal("dimacs:", err)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		fatal("dimacs:", err)
+	}
+	if err := g.Write(out); err != nil {
+		fatal("dimacs: write:", err)
+	}
+	if err := out.Close(); err != nil {
+		fatal("dimacs: write:", err)
+	}
+	fmt.Printf("imported %s: |V|=%d |E|=%d in %s -> %s\n",
+		name, g.NumVertices(), g.NumEdges()/2, time.Since(start).Round(time.Millisecond), outPath)
+}
+
+func fatal(prefix string, err error) {
+	fmt.Fprintln(os.Stderr, prefix, err)
+	os.Exit(1)
 }
 
 // fastEdgeFraction reports the share of edges faster than local speed

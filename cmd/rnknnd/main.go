@@ -6,6 +6,13 @@
 //
 //	rnknnd -addr :8080 -network NW -density 0.001
 //
+// Serve a prebuilt snapshot zero-copy (warm start costs page faults, and
+// replicas of one snapshot share a single page-cache copy), or a shard
+// set built by buildindex -shards:
+//
+//	rnknnd -snapshot nw.rnks
+//	rnknnd -shards de-shards
+//
 // Endpoints (all JSON):
 //
 //	GET  /knn?q=123&k=10[&method=auto][&category=default]
@@ -40,6 +47,9 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		network     = flag.String("network", "NW", "ladder network name")
+		snapshot    = flag.String("snapshot", "", "open a self-contained snapshot file zero-copy (graph included; see buildindex) instead of -network")
+		shardDir    = flag.String("shards", "", "serve a shard set directory (see buildindex -shards) instead of -network")
+		mmapFlag    = flag.Bool("mmap", false, "map the -indexcache snapshot zero-copy instead of decoding it")
 		methodsFlag = flag.String("methods", "INE,IER-Dijk,Gtree", "comma-separated methods to build (see rnknn.MethodNames)")
 		density     = flag.Float64("density", 0.001, "uniform object density in (0,1] for the default category")
 		seed        = flag.Int64("seed", 42, "object placement seed")
@@ -54,52 +64,105 @@ func main() {
 	if *density <= 0 || *density > 1 {
 		usageExit("-density must be in (0,1], got %g", *density)
 	}
-	var methods []rnknn.Method
-	for _, name := range strings.Split(*methodsFlag, ",") {
-		m, err := rnknn.ParseMethod(strings.TrimSpace(name))
-		if err != nil {
-			usageExit("-methods: %v", err)
-		}
-		if m == rnknn.MethodAuto {
-			usageExit("-methods: list concrete methods to build; requests pick auto per query")
-		}
-		methods = append(methods, m)
+	if *snapshot != "" && *shardDir != "" {
+		usageExit("-snapshot and -shards are mutually exclusive")
 	}
-	if len(methods) == 0 {
-		usageExit("-methods is empty")
-	}
-	spec, ok := gen.LadderSpec(*network)
-	if !ok {
-		usageExit("unknown network %q", *network)
-	}
-	g := gen.Network(spec)
-	if *timeW {
-		g = g.View(graph.TravelTime)
-	}
-
-	opts := []rnknn.Option{
-		rnknn.WithMethods(methods...),
-		rnknn.WithObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, *seed)),
-	}
-	if *indexCache != "" {
-		opts = append(opts, rnknn.WithIndexCache(*indexCache))
-	}
-	start := time.Now()
-	db, err := rnknn.Open(g, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "open:", err)
-		os.Exit(1)
-	}
-	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
-	fmt.Printf("rnknnd: network %s |V|=%d |E|=%d (%s weights), %d objects, methods %v, opened in %s\n",
-		spec.Name, g.NumVertices(), g.NumEdges()/2, g.Kind, numObjects, db.Methods(), time.Since(start).Round(time.Millisecond))
-
-	srv := serve.New(db, serve.Config{
+	cfg := serve.Config{
 		MaxInFlight:  *maxInflight,
 		CacheEntries: *cacheSize,
 		CacheShards:  *cacheShards,
-	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	}
+
+	var handler http.Handler
+	var stats func()
+	start := time.Now()
+	switch {
+	case *shardDir != "":
+		// Sharded serving: one mapped DB per partition cell, objects placed
+		// on their owning shards, per-shard caches behind a fan-out front.
+		sdb, err := rnknn.OpenSharded(*shardDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open shards:", err)
+			os.Exit(1)
+		}
+		defer sdb.Close()
+		g := sdb.Graph()
+		if err := sdb.RegisterObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, *seed)); err != nil {
+			fmt.Fprintln(os.Stderr, "objects:", err)
+			os.Exit(1)
+		}
+		numObjects, _ := sdb.NumObjects(rnknn.DefaultCategory)
+		fmt.Printf("rnknnd: network %s |V|=%d |E|=%d (%s weights), %d objects across %d shards, opened in %s\n",
+			g.Name, g.NumVertices(), g.NumEdges()/2, g.Kind, numObjects, sdb.NumShards(), time.Since(start).Round(time.Millisecond))
+		fs := serve.NewSharded(sdb, cfg)
+		handler = fs.Handler()
+		stats = func() {
+			var req, shed, hits uint64
+			for i := 0; i < sdb.NumShards(); i++ {
+				st := fs.Shard(i).Stats()
+				req += st.Requests
+				shed += st.Shed
+				hits += st.CacheHits
+			}
+			fmt.Printf("rnknnd: served %d shard queries (%d shed, %d cache hits)\n", req, shed, hits)
+		}
+	case *snapshot != "":
+		// Zero-copy single-DB serving: graph and indexes come from the
+		// snapshot's mapping; warm start costs page faults, not a decode.
+		db, err := rnknn.OpenSnapshotFile(*snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open snapshot:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		g := db.Graph()
+		if err := db.RegisterObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, *seed)); err != nil {
+			fmt.Fprintln(os.Stderr, "objects:", err)
+			os.Exit(1)
+		}
+		handler, stats = singleServer(db, g, cfg, start)
+	default:
+		var methods []rnknn.Method
+		for _, name := range strings.Split(*methodsFlag, ",") {
+			m, err := rnknn.ParseMethod(strings.TrimSpace(name))
+			if err != nil {
+				usageExit("-methods: %v", err)
+			}
+			if m == rnknn.MethodAuto {
+				usageExit("-methods: list concrete methods to build; requests pick auto per query")
+			}
+			methods = append(methods, m)
+		}
+		if len(methods) == 0 {
+			usageExit("-methods is empty")
+		}
+		spec, ok := gen.LadderSpec(*network)
+		if !ok {
+			usageExit("unknown network %q", *network)
+		}
+		g := gen.Network(spec)
+		if *timeW {
+			g = g.View(graph.TravelTime)
+		}
+		opts := []rnknn.Option{
+			rnknn.WithMethods(methods...),
+			rnknn.WithObjects(rnknn.DefaultCategory, gen.Uniform(g, *density, *seed)),
+		}
+		if *indexCache != "" {
+			opts = append(opts, rnknn.WithIndexCache(*indexCache))
+			if *mmapFlag {
+				opts = append(opts, rnknn.WithMmap())
+			}
+		}
+		db, err := rnknn.Open(g, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		handler, stats = singleServer(db, g, cfg, start)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,9 +185,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	stats := srv.Stats()
-	fmt.Printf("rnknnd: served %d requests (%d shed, %d cache hits, %d coalesced)\n",
-		stats.Requests, stats.Shed, stats.CacheHits, stats.Coalesced)
+	stats()
+}
+
+// singleServer reports the open and wraps db in the single-DB serving
+// stack, returning its handler and the exit-time stats printer.
+func singleServer(db *rnknn.DB, g *rnknn.Graph, cfg serve.Config, start time.Time) (http.Handler, func()) {
+	numObjects, _ := db.NumObjects(rnknn.DefaultCategory)
+	fmt.Printf("rnknnd: network %s |V|=%d |E|=%d (%s weights), %d objects, methods %v, opened in %s\n",
+		g.Name, g.NumVertices(), g.NumEdges()/2, g.Kind, numObjects, db.Methods(), time.Since(start).Round(time.Millisecond))
+	srv := serve.New(db, cfg)
+	return srv.Handler(), func() {
+		stats := srv.Stats()
+		fmt.Printf("rnknnd: served %d requests (%d shed, %d cache hits, %d coalesced)\n",
+			stats.Requests, stats.Shed, stats.CacheHits, stats.Coalesced)
+	}
 }
 
 func usageExit(format string, args ...any) {

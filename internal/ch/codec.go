@@ -1,6 +1,9 @@
 // Binary snapshot codec for the contraction hierarchy: the rank permutation
 // and the upward CSR (original + shortcut edges) — everything the witness
-// searches of Build exist to produce. See docs/SNAPSHOT_FORMAT.md.
+// searches of Build exist to produce. Layout v2 writes the four arrays
+// 64-byte-aligned (snapio raw-array layout) so a mapped snapshot aliases
+// them with zero copy; v1 payloads (element-streamed) are still read. See
+// docs/SNAPSHOT_FORMAT.md.
 package ch
 
 import (
@@ -12,34 +15,37 @@ import (
 )
 
 // codecVersion is the CH section layout version.
-const codecVersion uint16 = 1
+const codecVersion uint16 = 2
 
 // WriteTo serializes the index (io.WriterTo).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	sw := snapio.NewWriter(w)
 	sw.U16(codecVersion)
 	sw.U32(uint32(x.Shortcuts))
-	sw.I32s(x.rank)
-	sw.I32s(x.upOff)
-	sw.I32s(x.upTo)
-	sw.I32s(x.upW)
+	sw.RawI32s(x.rank)
+	sw.RawI32s(x.upOff)
+	sw.RawI32s(x.upTo)
+	sw.RawI32s(x.upW)
 	return sw.Result()
 }
 
 // Read deserializes an index written by WriteTo and re-arms the query-time
-// scratch state, validating CSR invariants against g.
-func Read(r io.Reader, g *graph.Graph) (*Index, error) {
-	sr := snapio.NewReader(r)
-	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
-		sr.Failf("ch codec version %d (want %d)", v, codecVersion)
-	}
-	x := &Index{
-		g:         g,
-		Shortcuts: int(sr.U32()),
-		rank:      sr.I32s(),
-		upOff:     sr.I32s(),
-		upTo:      sr.I32s(),
-		upW:       sr.I32s(),
+// scratch state, validating CSR invariants against g. When sr aliases a
+// mapped snapshot the arrays are views of the mapping and the per-element
+// validation scans are skipped (they would fault in every page — mapped
+// opens trust the snapshot; dimensions are still checked).
+func Read(sr *snapio.Source, g *graph.Graph) (*Index, error) {
+	x := &Index{g: g}
+	switch v := sr.U16(); {
+	case sr.Err() != nil:
+	case v == 1:
+		x.Shortcuts = int(sr.U32())
+		x.rank, x.upOff, x.upTo, x.upW = sr.I32s(), sr.I32s(), sr.I32s(), sr.I32s()
+	case v == codecVersion:
+		x.Shortcuts = int(sr.U32())
+		x.rank, x.upOff, x.upTo, x.upW = sr.AlignedI32s(), sr.AlignedI32s(), sr.AlignedI32s(), sr.AlignedI32s()
+	default:
+		sr.Failf("ch codec version %d (want 1 or %d)", v, codecVersion)
 	}
 	if sr.Err() != nil {
 		return nil, sr.Err()
@@ -54,20 +60,22 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
-	for v := 0; v < n; v++ {
-		if x.rank[v] < 0 || int(x.rank[v]) >= n {
-			sr.Failf("ch rank[%d]=%d out of range", v, x.rank[v])
-			return nil, sr.Err()
+	if !sr.Aliasing() {
+		for v := 0; v < n; v++ {
+			if x.rank[v] < 0 || int(x.rank[v]) >= n {
+				sr.Failf("ch rank[%d]=%d out of range", v, x.rank[v])
+				return nil, sr.Err()
+			}
+			if x.upOff[v] > x.upOff[v+1] {
+				sr.Failf("ch upward offsets not monotone at %d", v)
+				return nil, sr.Err()
+			}
 		}
-		if x.upOff[v] > x.upOff[v+1] {
-			sr.Failf("ch upward offsets not monotone at %d", v)
-			return nil, sr.Err()
-		}
-	}
-	for i, t := range x.upTo {
-		if t < 0 || int(t) >= n {
-			sr.Failf("ch upward target %d out of range at edge %d", t, i)
-			return nil, sr.Err()
+		for i, t := range x.upTo {
+			if t < 0 || int(t) >= n {
+				sr.Failf("ch upward target %d out of range at edge %d", t, i)
+				return nil, sr.Err()
+			}
 		}
 	}
 	x.def = x.NewSearcher()

@@ -1,29 +1,29 @@
 // Index persistence for the engine: SaveIndexes writes every built index
-// into one snapshot container, LoadIndexes installs indexes decoded from a
-// snapshot so the lazy-build getters find them already present. Decoding
-// runs in parallel across sections (CH first — TNR shares the hierarchy),
-// and BuiltIndexes distinguishes loaded from built entries so callers can
-// verify a warm start skipped construction.
+// (and the graph itself) into one snapshot container, LoadIndexes installs
+// indexes decoded from a snapshot so the lazy-build getters find them
+// already present. Decoding runs in parallel across sections (CH first —
+// TNR shares the hierarchy, a dependency the v2 container records
+// explicitly), and BuiltIndexes distinguishes loaded from built entries so
+// callers can verify a warm start skipped construction. LoadIndexesData is
+// the zero-copy path: over an mmap'ed snapshot the mappable sections
+// decode into structs whose slices alias the mapping.
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"time"
 
 	"rnknn/internal/ch"
+	"rnknn/internal/graph"
 	"rnknn/internal/gtree"
 	"rnknn/internal/phl"
 	"rnknn/internal/road"
 	"rnknn/internal/silc"
+	"rnknn/internal/snapio"
 	"rnknn/internal/snapshot"
 	"rnknn/internal/tnr"
 )
-
-// newPayloadReader wraps a section payload so codec readers can bound their
-// allocations by the bytes actually present (snapio detects Len).
-func newPayloadReader(data []byte) *bytes.Reader { return bytes.NewReader(data) }
 
 // Fingerprint returns the snapshot fingerprint of the engine's graph,
 // computed once — it walks every graph array, which is worth amortizing
@@ -33,8 +33,19 @@ func (e *Engine) Fingerprint() uint64 {
 	return e.fp
 }
 
-// Section names in the snapshot container, matching the BuildTimes keys.
+// SeedFingerprint installs fp as the engine's fingerprint without
+// computing it from the graph. The self-contained mapped open uses it: the
+// graph there is a view of the snapshot being opened, so recomputing the
+// fingerprint would fault in every graph page just to compare the file
+// with itself. No-op if the fingerprint was already computed or seeded.
+func (e *Engine) SeedFingerprint(fp uint64) {
+	e.fpOnce.Do(func() { e.fp = fp })
+}
+
+// Section names in the snapshot container, matching the BuildTimes keys
+// (SecGraph carries the road network itself, not an index).
 const (
+	SecGraph = "Graph"
 	secGtree = "Gtree"
 	secROAD  = "ROAD"
 	secSILC  = "SILC"
@@ -43,39 +54,55 @@ const (
 	secTNR   = "TNR"
 )
 
-// SaveIndexes writes every index built so far as one snapshot. Indexes are
-// immutable once built, so encoding proceeds outside the engine lock and
-// concurrent queries keep running. Saving an engine with no built indexes
-// writes a valid, empty snapshot.
+// SaveIndexes writes the graph and every index built so far as one
+// snapshot. Indexes are immutable once built, so encoding proceeds outside
+// the engine lock and concurrent queries keep running. Saving an engine
+// with no built indexes writes a valid snapshot carrying just the graph.
 func (e *Engine) SaveIndexes(w io.Writer) error {
 	e.mu.Lock()
 	gt, rd, sc, chx, phlx, tnrx := e.gt, e.rd, e.sc, e.chx, e.phlx, e.tnrx
 	e.mu.Unlock()
 
 	var secs []snapshot.Section
-	add := func(name string, wt io.WriterTo) {
-		secs = append(secs, snapshot.Section{Name: name, Encode: func(w io.Writer) error {
-			_, err := wt.WriteTo(w)
-			return err
-		}})
+	add := func(name string, mappable bool, deps []string, wt io.WriterTo) {
+		secs = append(secs, snapshot.Section{
+			Name:     name,
+			Mappable: mappable,
+			Deps:     deps,
+			Encode: func(w io.Writer) error {
+				_, err := wt.WriteTo(w)
+				return err
+			},
+		})
 	}
+	secs = append(secs, snapshot.Section{
+		Name:     SecGraph,
+		Mappable: true,
+		Encode: func(w io.Writer) error {
+			_, err := e.G.WriteSnapshot(w)
+			return err
+		},
+	})
 	if gt != nil {
-		add(secGtree, gt)
+		add(secGtree, true, nil, gt)
 	}
 	if rd != nil {
-		add(secROAD, rd)
+		add(secROAD, true, nil, rd)
 	}
 	if sc != nil {
-		add(secSILC, sc)
+		add(secSILC, true, nil, sc)
 	}
 	if chx != nil {
-		add(secCH, chx)
+		add(secCH, true, nil, chx)
 	}
 	if phlx != nil {
-		add(secPHL, phlx)
+		add(secPHL, true, nil, phlx)
 	}
 	if tnrx != nil {
-		add(secTNR, tnrx)
+		// TNR decodes against the contraction hierarchy; the container
+		// records the dependency so readers reject a table that lists TNR
+		// before (or without) CH instead of trusting writer convention.
+		add(secTNR, true, []string{secCH}, tnrx)
 	}
 	return snapshot.Write(w, e.Fingerprint(), secs)
 }
@@ -94,21 +121,76 @@ func (e *Engine) LoadIndexes(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	byName := make(map[string][]byte, len(payloads))
+	return e.installPayloads(payloads, false)
+}
+
+// LoadIndexesData is LoadIndexes over a snapshot already materialized (or
+// mapped) as one byte slice. With alias set, mappable sections decode into
+// indexes whose slices are views of data — data must then stay valid (and
+// unmodified) for the life of the engine — and checksum verification is
+// skipped along with the per-element validation scans: a mapped open's
+// cost is O(pages touched), and verifying would touch them all. Pass
+// alias=false for private decoding with full verification.
+func (e *Engine) LoadIndexesData(data []byte, alias bool) error {
+	fp, payloads, err := snapshot.Parse(data, !alias)
+	if err != nil {
+		return err
+	}
+	if want := e.Fingerprint(); fp != want {
+		return fmt.Errorf("%w: snapshot %016x vs graph %016x", snapshot.ErrFingerprintMismatch, fp, want)
+	}
+	return e.installPayloads(payloads, alias)
+}
+
+// LoadGraphData decodes the Graph section of a snapshot and returns it
+// with the container fingerprint, without touching index sections. The
+// self-contained open (rnknn.OpenSnapshotFile) uses it to bootstrap: the
+// returned graph seeds a new engine, whose SeedFingerprint takes the
+// returned fingerprint on trust (see that method). Alias semantics match
+// LoadIndexesData.
+func LoadGraphData(data []byte, alias bool) (*graph.Graph, uint64, error) {
+	fp, payloads, err := snapshot.Parse(data, !alias)
+	if err != nil {
+		return nil, 0, err
+	}
 	for _, p := range payloads {
-		byName[p.Name] = p.Data
+		if p.Name != SecGraph {
+			continue
+		}
+		g, err := graph.ReadSnapshot(snapio.NewSource(p.Data, alias && p.Mappable))
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: section %s: %v", snapshot.ErrBadSnapshot, SecGraph, err)
+		}
+		return g, fp, nil
+	}
+	return nil, 0, fmt.Errorf("%w: snapshot has no %s section (written by an older binary?)", snapshot.ErrBadSnapshot, SecGraph)
+}
+
+// installPayloads decodes the index sections and installs whatever the
+// engine has not already built. alias propagates to mappable sections'
+// codecs (see LoadIndexesData).
+func (e *Engine) installPayloads(payloads []snapshot.Payload, alias bool) error {
+	byName := make(map[string]snapshot.Payload, len(payloads))
+	for _, p := range payloads {
+		byName[p.Name] = p
+	}
+	src := func(p snapshot.Payload) *snapio.Source {
+		return snapio.NewSource(p.Data, alias && p.Mappable)
 	}
 
 	// CH decodes first: TNR shares the hierarchy object, and an engine that
-	// already built one reuses it.
+	// already built one reuses it. (The v2 container validates the declared
+	// CH-before-TNR table ordering at parse time; the check below also
+	// covers v1 snapshots, which had no way to declare it.)
 	e.mu.Lock()
 	chx := e.chx
 	e.mu.Unlock()
 	var chTime time.Duration
 	chLoaded := false
-	if data, ok := byName[secCH]; ok && chx == nil {
+	var err error
+	if p, ok := byName[secCH]; ok && chx == nil {
 		start := time.Now()
-		chx, err = ch.Read(newPayloadReader(data), e.G)
+		chx, err = ch.Read(src(p), e.G)
 		if err != nil {
 			return fmt.Errorf("%w: section %s: %v", snapshot.ErrBadSnapshot, secCH, err)
 		}
@@ -125,26 +207,26 @@ func (e *Engine) LoadIndexes(r io.Reader) error {
 		took time.Duration
 		err  error
 	}
-	decoders := map[string]func(data []byte) (any, error){
-		secGtree: func(d []byte) (any, error) { return gtree.Read(newPayloadReader(d), e.G) },
-		secROAD:  func(d []byte) (any, error) { return road.Read(newPayloadReader(d), e.G) },
-		secSILC:  func(d []byte) (any, error) { return silc.Read(newPayloadReader(d), e.G) },
-		secPHL:   func(d []byte) (any, error) { return phl.Read(newPayloadReader(d), e.G.NumVertices()) },
-		secTNR:   func(d []byte) (any, error) { return tnr.Read(newPayloadReader(d), chx) },
+	decoders := map[string]func(p snapshot.Payload) (any, error){
+		secGtree: func(p snapshot.Payload) (any, error) { return gtree.Read(src(p), e.G) },
+		secROAD:  func(p snapshot.Payload) (any, error) { return road.Read(src(p), e.G) },
+		secSILC:  func(p snapshot.Payload) (any, error) { return silc.Read(src(p), e.G) },
+		secPHL:   func(p snapshot.Payload) (any, error) { return phl.Read(src(p), e.G.NumVertices()) },
+		secTNR:   func(p snapshot.Payload) (any, error) { return tnr.Read(src(p), chx) },
 	}
 	results := make(chan result, len(byName))
 	launched := 0
 	for name, decode := range decoders {
-		data, ok := byName[name]
+		p, ok := byName[name]
 		if !ok {
 			continue
 		}
 		launched++
-		go func(name string, decode func([]byte) (any, error), data []byte) {
+		go func(name string, decode func(snapshot.Payload) (any, error), p snapshot.Payload) {
 			start := time.Now()
-			idx, err := decode(data)
+			idx, err := decode(p)
 			results <- result{name: name, idx: idx, took: time.Since(start), err: err}
-		}(name, decode, data)
+		}(name, decode, p)
 	}
 	decoded := make(map[string]result, launched)
 	for i := 0; i < launched; i++ {

@@ -1,9 +1,12 @@
-// Binary snapshot codec for the G-tree. Only the expensive build products
-// are persisted — the partition tree and the per-node distance matrices;
-// positions, leaf CSRs, border lists, and the internal-node layout are
-// recomputed on load by the same deterministic passes Build runs (they are
-// linear in the graph, versus the Dijkstra cascades behind the matrices).
-// See docs/SNAPSHOT_FORMAT.md.
+// Binary snapshot codec for the G-tree. Layout v2 persists the partition
+// tree, the per-node distance matrices, and every derived query-time array
+// (positions, leaf CSRs, border lists, internal-node layout) as raw
+// 64-byte-aligned arrays: ragged per-node data is concatenated behind an
+// offset table, so a mapped snapshot aliases the whole index with zero copy
+// and zero recomputation — open cost is pages touched, not graph size. v1
+// payloads (partition + element-streamed matrices only) are still read, by
+// rerunning the deterministic derivation passes Build uses. See
+// docs/SNAPSHOT_FORMAT.md.
 package gtree
 
 import (
@@ -15,7 +18,49 @@ import (
 )
 
 // codecVersion is the G-tree section layout version.
-const codecVersion uint16 = 1
+const codecVersion uint16 = 2
+
+// writeRagged writes n variable-length arrays as one offset table (n+1
+// entries) plus their concatenation, both in the raw aligned layout.
+func writeRagged(sw *snapio.Writer, items [][]int32) {
+	off := make([]int32, len(items)+1)
+	total := 0
+	for i, it := range items {
+		total += len(it)
+		off[i+1] = int32(total)
+	}
+	data := make([]int32, 0, total)
+	for _, it := range items {
+		data = append(data, it...)
+	}
+	sw.RawI32s(off)
+	sw.RawI32s(data)
+}
+
+// readRagged reads an array group written by writeRagged, returning the
+// per-item views (subslices of the concatenation — aliased views of the
+// mapping when sr aliases). want is the expected item count.
+func readRagged(sr *snapio.Source, want int, what string) [][]int32 {
+	off := sr.AlignedI32s()
+	data := sr.AlignedI32s()
+	if sr.Err() != nil {
+		return nil
+	}
+	if len(off) != want+1 || off[0] != 0 || int(off[want]) != len(data) {
+		sr.Failf("gtree %s offsets are inconsistent (%d entries for %d items)", what, len(off), want)
+		return nil
+	}
+	items := make([][]int32, want)
+	for i := 0; i < want; i++ {
+		lo, hi := off[i], off[i+1]
+		if lo > hi || int(hi) > len(data) {
+			sr.Failf("gtree %s item %d spans [%d, %d)", what, i, lo, hi)
+			return nil
+		}
+		items[i] = data[lo:hi:hi]
+	}
+	return items
+}
 
 // WriteTo serializes the index (io.WriterTo).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
@@ -23,48 +68,138 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	sw.U16(codecVersion)
 	sw.U32(uint32(x.Tau))
 	partition.Encode(x.PT, sw)
-	sw.U32(uint32(len(x.nodes)))
-	for i := range x.nodes {
-		sw.U32(uint32(x.nodes[i].stride))
-		sw.I32s(x.nodes[i].mat)
+
+	n := len(x.nodes)
+	sw.RawI32s(x.posInLeaf)
+	collect := func(f func(i int) []int32) [][]int32 {
+		items := make([][]int32, n)
+		for i := range items {
+			items[i] = f(i)
+		}
+		return items
 	}
+	writeRagged(sw, collect(func(i int) []int32 { return x.nodes[i].borders }))
+	writeRagged(sw, collect(func(i int) []int32 { return x.nodes[i].childBorders }))
+	writeRagged(sw, collect(func(i int) []int32 { return x.nodes[i].childOff }))
+	writeRagged(sw, collect(func(i int) []int32 { return x.nodes[i].ownIdx }))
+	writeRagged(sw, x.leafOff)
+	writeRagged(sw, x.leafTgt)
+	writeRagged(sw, x.leafW)
+
+	strides := make([]int32, n)
+	total := 0
+	for i := range x.nodes {
+		strides[i] = x.nodes[i].stride
+		total += len(x.nodes[i].mat)
+	}
+	mats := make([]int32, 0, total)
+	for i := range x.nodes {
+		mats = append(mats, x.nodes[i].mat...)
+	}
+	sw.RawI32s(strides)
+	sw.RawI32s(mats)
 	return sw.Result()
 }
 
-// Read deserializes an index written by WriteTo, rebuilding the derived
-// fields over g. The matrices are validated against the dimensions the
-// recomputed layout implies, so a snapshot for a different graph (or a
-// corrupt one) fails instead of producing wrong distances.
-func Read(r io.Reader, g *graph.Graph) (*Index, error) {
-	sr := snapio.NewReader(r)
-	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
-		sr.Failf("gtree codec version %d (want %d)", v, codecVersion)
+// Read deserializes an index written by WriteTo. v2 payloads install every
+// derived array as views of the payload (zero recomputation; aliased views
+// of the mapping when sr aliases); v1 payloads rerun the derivation passes.
+// The matrices are validated against the dimensions the layout implies —
+// pure arithmetic on the side tables, no matrix pages touched — so a
+// snapshot for a different graph (or a corrupt one) fails instead of
+// producing wrong distances.
+func Read(sr *snapio.Source, g *graph.Graph) (*Index, error) {
+	version := sr.U16()
+	if sr.Err() == nil && version != 1 && version != codecVersion {
+		sr.Failf("gtree codec version %d (want 1 or %d)", version, codecVersion)
 	}
 	tau := int(sr.U32())
-	pt := partition.Decode(sr, g.NumVertices())
+	pt := partition.Decode(sr, g.NumVertices(), version != 1)
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
 	x := &Index{G: g, PT: pt, Tau: tau}
 	x.nodes = make([]node, len(pt.Nodes))
-	x.computePositions()
-	x.extractLeafCSRs()
-	x.computeBorders()
-	x.layoutInternalNodes()
+	n := len(x.nodes)
 
-	if count := int(sr.U32()); sr.Err() == nil && count != len(x.nodes) {
-		sr.Failf("gtree snapshot has %d nodes, partition has %d", count, len(x.nodes))
+	if version == 1 {
+		x.computePositions()
+		x.extractLeafCSRs()
+		x.computeBorders()
+		x.layoutInternalNodes()
+		if count := int(sr.U32()); sr.Err() == nil && count != n {
+			sr.Failf("gtree snapshot has %d nodes, partition has %d", count, n)
+		}
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		for ni := range x.nodes {
+			x.nodes[ni].stride = int32(sr.U32())
+			x.nodes[ni].mat = sr.I32s()
+			if sr.Err() != nil {
+				return nil, sr.Err()
+			}
+		}
+		return x, x.validateDims(sr)
 	}
+
+	x.posInLeaf = sr.AlignedI32s()
+	if sr.Err() == nil && len(x.posInLeaf) != g.NumVertices() {
+		sr.Failf("gtree posInLeaf has %d entries for %d vertices", len(x.posInLeaf), g.NumVertices())
+	}
+	borders := readRagged(sr, n, "border")
+	childBorders := readRagged(sr, n, "childBorders")
+	childOff := readRagged(sr, n, "childOff")
+	ownIdx := readRagged(sr, n, "ownIdx")
+	x.leafOff = readRagged(sr, n, "leafOff")
+	x.leafTgt = readRagged(sr, n, "leafTgt")
+	x.leafW = readRagged(sr, n, "leafW")
+	strides := sr.AlignedI32s()
+	mats := sr.AlignedI32s()
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
 	for ni := range x.nodes {
-		n := &x.nodes[ni]
-		n.stride = int32(sr.U32())
-		n.mat = sr.I32s()
-		if sr.Err() != nil {
+		nd := &x.nodes[ni]
+		nd.borders = borders[ni]
+		nd.childBorders = childBorders[ni]
+		nd.childOff = childOff[ni]
+		nd.ownIdx = ownIdx[ni]
+	}
+	if len(strides) != n {
+		sr.Failf("gtree snapshot has %d strides, partition has %d nodes", len(strides), n)
+		return nil, sr.Err()
+	}
+	pos := 0
+	for ni := range x.nodes {
+		nd := &x.nodes[ni]
+		nd.stride = strides[ni]
+		var cells int
+		if pt.Nodes[ni].IsLeaf() {
+			cells = len(nd.borders) * int(nd.stride)
+		} else {
+			cells = int(nd.stride) * int(nd.stride)
+		}
+		if nd.stride < 0 || pos+cells > len(mats) {
+			sr.Failf("gtree node %d matrix [%d, %d) exceeds %d cells", ni, pos, pos+cells, len(mats))
 			return nil, sr.Err()
 		}
+		nd.mat = mats[pos : pos+cells : pos+cells]
+		pos += cells
+	}
+	if pos != len(mats) {
+		sr.Failf("gtree matrix heap has %d cells, nodes imply %d", len(mats), pos)
+		return nil, sr.Err()
+	}
+	return x, x.validateDims(sr)
+}
+
+// validateDims cross-checks every node's stride and matrix size against the
+// dimensions its border and layout arrays imply.
+func (x *Index) validateDims(sr *snapio.Source) error {
+	pt := x.PT
+	for ni := range x.nodes {
+		n := &x.nodes[ni]
 		var wantStride, wantLen int
 		if pt.Nodes[ni].IsLeaf() {
 			wantStride = len(pt.Nodes[ni].Vertices)
@@ -76,8 +211,8 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 		if int(n.stride) != wantStride || len(n.mat) != wantLen {
 			sr.Failf("gtree node %d matrix is %dx%d cells, want stride %d with %d cells",
 				ni, n.stride, len(n.mat), wantStride, wantLen)
-			return nil, sr.Err()
+			return sr.Err()
 		}
 	}
-	return x, nil
+	return nil
 }

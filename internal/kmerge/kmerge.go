@@ -1,0 +1,164 @@
+// Package kmerge merges k nondecreasing streams into one nondecreasing
+// stream with a loser tree, deferring the opening of any stream whose
+// lower bound shows it cannot yet contribute.
+//
+// Each Source promises (1) items come out in nondecreasing D and (2) no
+// item will ever have D below Bound(). An unopened source participates in
+// the tournament keyed by its bound; it is pulled for the first time only
+// when that bound becomes the tournament minimum — that is, when every
+// already-pulled item is at least as far. Those two promises make the
+// merge exact: when an item wins the tournament, every other source's
+// pending item or bound is >= its D, so nothing smaller can appear later.
+// This is what makes a sharded kNN scan exact without querying every
+// shard: shards whose geometric lower bound stays above the k-th result
+// distance are never opened at all.
+//
+// The tournament is a classic loser tree (the structure behind k-way
+// external merge sort): internal nodes remember the loser of their match,
+// so replaying after the winner advances costs one comparison per level —
+// O(log k) per emitted item, independent of how the streams interleave.
+package kmerge
+
+import (
+	"math"
+)
+
+// Item is one merged element: an identifier and its sort key.
+type Item struct {
+	V int32
+	D int64
+}
+
+// Source is one nondecreasing stream with a lower bound on everything it
+// will ever yield.
+type Source interface {
+	// Bound returns a value no item from this source will go below. It is
+	// consulted once, before the source's first Next call; a source whose
+	// bound never becomes the tournament minimum is never opened.
+	Bound() int64
+	// Next yields the source's next item in nondecreasing D order; ok
+	// false means the source is exhausted. The first Next call may be
+	// expensive (it typically opens the underlying stream).
+	Next() (item Item, ok bool, err error)
+}
+
+// leaf states in the tournament.
+const (
+	statePending = iota // key is the source's bound; Next not yet called
+	stateItem           // key is an item waiting to be emitted
+	stateDone           // source exhausted; key is +inf
+)
+
+// Merge runs the tournament, calling yield for each item in globally
+// nondecreasing (D, V) order until every source is exhausted or yield
+// returns false. An error from any Next aborts the merge.
+func Merge(sources []Source, yield func(Item) bool) error {
+	k := len(sources)
+	switch k {
+	case 0:
+		return nil
+	case 1:
+		// Degenerate tournament: drain directly.
+		for {
+			it, ok, err := sources[0].Next()
+			if err != nil {
+				return err
+			}
+			if !ok || !yield(it) {
+				return nil
+			}
+		}
+	}
+
+	// Leaf keys: (d, v, state). Pending leaves key on the bound with v =
+	// MinInt32 so a bound ties ahead of an equal-distance item — the
+	// stream gets opened before the item is emitted, in case it holds an
+	// item of exactly that distance.
+	d := make([]int64, k)
+	v := make([]int32, k)
+	state := make([]uint8, k)
+	for i, s := range sources {
+		d[i] = s.Bound()
+		v[i] = math.MinInt32
+		state[i] = statePending
+	}
+	less := func(a, b int) bool {
+		if d[a] != d[b] {
+			return d[a] < d[b]
+		}
+		if v[a] != v[b] {
+			return v[a] < v[b]
+		}
+		return a < b
+	}
+
+	// Loser tree over a heap-shaped complete binary tree: internal nodes
+	// 1..k-1, leaf i at node k+i. ls[n] is the loser of the match at n;
+	// the overall winner propagates to the caller of build.
+	ls := make([]int, k)
+	var build func(node int) int
+	build = func(node int) int {
+		if node >= k {
+			return node - k
+		}
+		l := build(2 * node)
+		r := build(2*node + 1)
+		if less(l, r) {
+			ls[node] = r
+			return l
+		}
+		ls[node] = l
+		return r
+	}
+	winner := build(1)
+
+	// replay re-runs the matches on the winner's path after its key
+	// changed: one comparison per level.
+	replay := func(leaf int) {
+		w := leaf
+		for node := (k + leaf) / 2; node >= 1; node /= 2 {
+			if less(ls[node], w) {
+				w, ls[node] = ls[node], w
+			}
+		}
+		winner = w
+	}
+
+	advance := func(leaf int) error {
+		it, ok, err := sources[leaf].Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			state[leaf] = stateDone
+			d[leaf] = math.MaxInt64
+			v[leaf] = math.MaxInt32
+		} else {
+			state[leaf] = stateItem
+			d[leaf] = it.D
+			v[leaf] = it.V
+		}
+		replay(leaf)
+		return nil
+	}
+
+	for {
+		w := winner
+		switch state[w] {
+		case stateDone:
+			// The winner is exhausted, so every source is.
+			return nil
+		case statePending:
+			if err := advance(w); err != nil {
+				return err
+			}
+		case stateItem:
+			if !yield(Item{V: v[w], D: d[w]}) {
+				return nil
+			}
+			if err := advance(w); err != nil {
+				return err
+			}
+		}
+	}
+}

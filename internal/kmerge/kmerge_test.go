@@ -1,0 +1,197 @@
+package kmerge_test
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rnknn/internal/kmerge"
+)
+
+// sliceSource yields a fixed nondecreasing item list; it records whether
+// it was ever opened so tests can assert bound-based pruning.
+type sliceSource struct {
+	bound  int64
+	items  []kmerge.Item
+	pos    int
+	opened bool
+	err    error
+}
+
+func (s *sliceSource) Bound() int64 { return s.bound }
+
+func (s *sliceSource) Next() (kmerge.Item, bool, error) {
+	s.opened = true
+	if s.err != nil {
+		return kmerge.Item{}, false, s.err
+	}
+	if s.pos >= len(s.items) {
+		return kmerge.Item{}, false, nil
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it, true, nil
+}
+
+func collect(t *testing.T, sources []kmerge.Source, limit int) []kmerge.Item {
+	t.Helper()
+	var out []kmerge.Item
+	err := kmerge.Merge(sources, func(it kmerge.Item) bool {
+		out = append(out, it)
+		return limit <= 0 || len(out) < limit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func ordered(items []kmerge.Item) bool {
+	return sort.SliceIsSorted(items, func(a, b int) bool {
+		if items[a].D != items[b].D {
+			return items[a].D < items[b].D
+		}
+		return items[a].V < items[b].V
+	})
+}
+
+func TestMergeBasic(t *testing.T) {
+	srcs := []kmerge.Source{
+		&sliceSource{bound: 0, items: []kmerge.Item{{V: 1, D: 1}, {V: 4, D: 4}, {V: 7, D: 7}}},
+		&sliceSource{bound: 0, items: []kmerge.Item{{V: 2, D: 2}, {V: 5, D: 5}}},
+		&sliceSource{bound: 0, items: []kmerge.Item{{V: 3, D: 3}, {V: 6, D: 6}, {V: 8, D: 8}}},
+	}
+	got := collect(t, srcs, 0)
+	if len(got) != 8 {
+		t.Fatalf("got %d items", len(got))
+	}
+	for i, it := range got {
+		if it.D != int64(i+1) {
+			t.Fatalf("item %d: %+v", i, it)
+		}
+	}
+}
+
+func TestMergeEmptyAndSingle(t *testing.T) {
+	if got := collect(t, nil, 0); len(got) != 0 {
+		t.Fatalf("k=0: %v", got)
+	}
+	one := []kmerge.Source{&sliceSource{items: []kmerge.Item{{V: 1, D: 5}, {V: 2, D: 9}}}}
+	got := collect(t, one, 0)
+	if len(got) != 2 || got[0].D != 5 || got[1].D != 9 {
+		t.Fatalf("k=1: %v", got)
+	}
+	empty := []kmerge.Source{&sliceSource{}, &sliceSource{}, &sliceSource{}}
+	if got := collect(t, empty, 0); len(got) != 0 {
+		t.Fatalf("all empty: %v", got)
+	}
+}
+
+// TestBoundDefersOpening is the pruning contract: a source whose bound
+// stays above every emitted item is never opened (its Next is never
+// called) when the consumer stops early — the property that lets a
+// sharded scan skip far-away shards entirely.
+func TestBoundDefersOpening(t *testing.T) {
+	near := &sliceSource{bound: 0, items: []kmerge.Item{{V: 1, D: 1}, {V: 2, D: 2}, {V: 3, D: 3}}}
+	far := &sliceSource{bound: 100, items: []kmerge.Item{{V: 9, D: 150}}}
+	got := collect(t, []kmerge.Source{near, far}, 3)
+	if len(got) != 3 || got[2].D != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if far.opened {
+		t.Fatal("far source was opened despite its bound exceeding every emitted item")
+	}
+}
+
+// TestBoundOpensBeforeEqualItem: a pending bound ties ahead of an item at
+// the same distance, so a source holding an item exactly at its bound is
+// opened before that distance is emitted — otherwise the merge could emit
+// an item and later discover an equal-distance item it should have
+// interleaved by vertex id.
+func TestBoundOpensBeforeEqualItem(t *testing.T) {
+	a := &sliceSource{bound: 0, items: []kmerge.Item{{V: 5, D: 10}}}
+	b := &sliceSource{bound: 10, items: []kmerge.Item{{V: 1, D: 10}}}
+	got := collect(t, []kmerge.Source{a, b}, 0)
+	if len(got) != 2 || got[0].V != 1 || got[1].V != 5 {
+		t.Fatalf("equal-distance order: %v", got)
+	}
+}
+
+func TestMergeErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	srcs := []kmerge.Source{
+		&sliceSource{items: []kmerge.Item{{V: 1, D: 1}}},
+		&sliceSource{err: boom},
+	}
+	err := kmerge.Merge(srcs, func(kmerge.Item) bool { return true })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestMergeEarlyStop(t *testing.T) {
+	srcs := []kmerge.Source{
+		&sliceSource{items: []kmerge.Item{{V: 1, D: 1}, {V: 3, D: 3}}},
+		&sliceSource{items: []kmerge.Item{{V: 2, D: 2}, {V: 4, D: 4}}},
+	}
+	got := collect(t, srcs, 2)
+	if len(got) != 2 || got[1].D != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestMergeRandomized cross-checks the loser tree against sort on many
+// random stream configurations, including equal distances across sources
+// and bounds at varying tightness.
+func TestMergeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(9)
+		var srcs []kmerge.Source
+		var all []kmerge.Item
+		for i := 0; i < k; i++ {
+			n := rng.Intn(20)
+			items := make([]kmerge.Item, n)
+			d := int64(rng.Intn(10))
+			for j := range items {
+				d += int64(rng.Intn(4)) // repeats allowed
+				items[j] = kmerge.Item{V: int32(rng.Intn(1000)), D: d}
+			}
+			sort.Slice(items, func(a, b int) bool {
+				if items[a].D != items[b].D {
+					return items[a].D < items[b].D
+				}
+				return items[a].V < items[b].V
+			})
+			bound := int64(0)
+			if n > 0 && rng.Intn(2) == 0 {
+				bound = items[0].D - int64(rng.Intn(3)) // tight-ish lower bound
+			}
+			srcs = append(srcs, &sliceSource{bound: bound, items: items})
+			all = append(all, items...)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].D != all[b].D {
+				return all[a].D < all[b].D
+			}
+			return all[a].V < all[b].V
+		})
+		got := collect(t, srcs, 0)
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: %d items, want %d", trial, len(got), len(all))
+		}
+		if !ordered(got) {
+			t.Fatalf("trial %d: output not ordered: %v", trial, got)
+		}
+		// Same multiset with nondecreasing D; V order within equal D may
+		// differ only when duplicates span sources with identical (D, V) —
+		// compare exact sequences, which the (D, V, leaf) tie-break makes
+		// deterministic up to identical pairs.
+		for i := range all {
+			if got[i].D != all[i].D {
+				t.Fatalf("trial %d item %d: got %+v want %+v", trial, i, got[i], all[i])
+			}
+		}
+	}
+}

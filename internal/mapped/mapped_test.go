@@ -1,0 +1,56 @@
+package mapped_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rnknn/internal/mapped"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("0123456789abcdef"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := mapped.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s.Data, want) {
+		t.Fatalf("mapped data differs: %d bytes vs %d", len(s.Data), len(want))
+	}
+	// The mapping (or fallback copy) must outlive the file handle — Open
+	// already closed it — and survive a rename of the underlying path.
+	if err := os.Rename(path, path+".moved"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Data[17] != want[17] {
+		t.Fatal("data unreadable after rename")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	var nilSnap *mapped.Snapshot
+	if err := nilSnap.Close(); err != nil {
+		t.Fatal("nil Close:", err)
+	}
+}
+
+func TestOpenEmptyAndMissing(t *testing.T) {
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapped.Open(empty); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	if _, err := mapped.Open(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package mapped
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: every mapping of the
+// same file shares the kernel's one physical copy of each page.
+func mmapFile(f *os.File, size int) (*Snapshot, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Data: data, Mapped: true, region: data}, nil
+}
+
+func munmap(region []byte) error { return syscall.Munmap(region) }

@@ -1,7 +1,10 @@
 // Binary codec for the partition tree, embedded inside the G-tree and ROAD
 // snapshot sections (both indexes are hierarchies over a Tree, and the tree
 // itself is the one build product the cheap derived fields cannot be
-// recomputed from). See docs/SNAPSHOT_FORMAT.md.
+// recomputed from). Encode always emits the raw layout (per-node arrays
+// 64-byte-aligned so a mapped snapshot aliases them); Decode reads either
+// layout, selected by the embedding section's codec version via raw. See
+// docs/SNAPSHOT_FORMAT.md.
 package partition
 
 import (
@@ -10,7 +13,8 @@ import (
 
 // Encode serializes t into w. The layout is: fanout u32, node count u32,
 // then per node parent i32, level i32, leafLo i32, leafHi i32, children
-// []int32, vertices []int32; then LeafOf []int32 and LeafSeq []int32.
+// []int32, vertices []int32; then LeafOf []int32 and LeafSeq []int32. The
+// variable-length arrays use the snapio raw 64-byte-aligned layout.
 func Encode(t *Tree, w *snapio.Writer) {
 	w.U32(uint32(t.Fanout))
 	w.U32(uint32(len(t.Nodes)))
@@ -20,11 +24,11 @@ func Encode(t *Tree, w *snapio.Writer) {
 		w.U32(uint32(n.Level))
 		w.U32(uint32(n.LeafLo))
 		w.U32(uint32(n.LeafHi))
-		w.I32s(n.Children)
-		w.I32s(n.Vertices)
+		w.RawI32s(n.Children)
+		w.RawI32s(n.Vertices)
 	}
-	w.I32s(t.LeafOf)
-	w.I32s(t.LeafSeq)
+	w.RawI32s(t.LeafOf)
+	w.RawI32s(t.LeafSeq)
 }
 
 // maxTreeNodes bounds the node count read from a snapshot so a corrupt
@@ -34,9 +38,16 @@ const maxTreeNodes = 1 << 26
 
 // Decode reads a tree written by Encode for a graph of numVertices vertices,
 // validating structural invariants (indexes in range, per-vertex maps the
-// right length). On any inconsistency it records an error on r and returns
+// right length). raw selects the 64-byte-aligned array layout (v2 G-tree and
+// ROAD sections) versus the legacy element-streamed one; with an aliasing
+// source the arrays are views of the mapping and the per-element range scans
+// are skipped. On any inconsistency Decode records an error on r and returns
 // nil.
-func Decode(r *snapio.Reader, numVertices int) *Tree {
+func Decode(r *snapio.Source, numVertices int, raw bool) *Tree {
+	i32s := r.I32s
+	if raw {
+		i32s = r.AlignedI32s
+	}
 	t := &Tree{Fanout: int(r.U32())}
 	count := int(r.U32())
 	if r.Err() != nil {
@@ -53,8 +64,8 @@ func Decode(r *snapio.Reader, numVertices int) *Tree {
 		n.Level = int32(r.U32())
 		n.LeafLo = int32(r.U32())
 		n.LeafHi = int32(r.U32())
-		n.Children = r.I32s()
-		n.Vertices = r.I32s()
+		n.Children = i32s()
+		n.Vertices = i32s()
 		if r.Err() != nil {
 			return nil
 		}
@@ -72,15 +83,17 @@ func Decode(r *snapio.Reader, numVertices int) *Tree {
 				return nil
 			}
 		}
-		for _, v := range n.Vertices {
-			if v < 0 || int(v) >= numVertices {
-				r.Failf("partition node %d vertex %d out of range", i, v)
-				return nil
+		if !r.Aliasing() {
+			for _, v := range n.Vertices {
+				if v < 0 || int(v) >= numVertices {
+					r.Failf("partition node %d vertex %d out of range", i, v)
+					return nil
+				}
 			}
 		}
 	}
-	t.LeafOf = r.I32s()
-	t.LeafSeq = r.I32s()
+	t.LeafOf = i32s()
+	t.LeafSeq = i32s()
 	if r.Err() != nil {
 		return nil
 	}
@@ -89,10 +102,12 @@ func Decode(r *snapio.Reader, numVertices int) *Tree {
 			len(t.LeafOf), len(t.LeafSeq), numVertices)
 		return nil
 	}
-	for v, li := range t.LeafOf {
-		if li < 0 || int(li) >= count || !t.Nodes[li].IsLeaf() {
-			r.Failf("vertex %d mapped to invalid leaf %d", v, li)
-			return nil
+	if !r.Aliasing() {
+		for v, li := range t.LeafOf {
+			if li < 0 || int(li) >= count || !t.Nodes[li].IsLeaf() {
+				r.Failf("vertex %d mapped to invalid leaf %d", v, li)
+				return nil
+			}
 		}
 	}
 	return t

@@ -1,5 +1,8 @@
 // Binary snapshot codec for the hub labeling: the CSR label arrays are the
-// entire index. See docs/SNAPSHOT_FORMAT.md.
+// entire index. Layout v2 writes the three arrays 64-byte-aligned
+// (snapio raw-array layout) so a mapped snapshot aliases them with zero
+// copy; v1 payloads (element-streamed) are still read. See
+// docs/SNAPSHOT_FORMAT.md.
 package phl
 
 import (
@@ -9,26 +12,34 @@ import (
 )
 
 // codecVersion is the PHL section layout version.
-const codecVersion uint16 = 1
+const codecVersion uint16 = 2
 
 // WriteTo serializes the index (io.WriterTo).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	sw := snapio.NewWriter(w)
 	sw.U16(codecVersion)
-	sw.I32s(x.off)
-	sw.I32s(x.hubs)
-	sw.I32s(x.dist)
+	sw.RawI32s(x.off)
+	sw.RawI32s(x.hubs)
+	sw.RawI32s(x.dist)
 	return sw.Result()
 }
 
 // Read deserializes an index written by WriteTo for a graph of numVertices
-// vertices, validating the CSR invariants.
-func Read(r io.Reader, numVertices int) (*Index, error) {
-	sr := snapio.NewReader(r)
-	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
-		sr.Failf("phl codec version %d (want %d)", v, codecVersion)
+// vertices, validating the CSR invariants. When sr aliases a mapped
+// snapshot, the label arrays are views of the mapping and the per-element
+// monotonicity scan is skipped (it would fault in every label page —
+// mapped opens trust the snapshot; dimensions are still checked).
+func Read(sr *snapio.Source, numVertices int) (*Index, error) {
+	x := &Index{}
+	switch v := sr.U16(); {
+	case sr.Err() != nil:
+	case v == 1:
+		x.off, x.hubs, x.dist = sr.I32s(), sr.I32s(), sr.I32s()
+	case v == codecVersion:
+		x.off, x.hubs, x.dist = sr.AlignedI32s(), sr.AlignedI32s(), sr.AlignedI32s()
+	default:
+		sr.Failf("phl codec version %d (want 1 or %d)", v, codecVersion)
 	}
-	x := &Index{off: sr.I32s(), hubs: sr.I32s(), dist: sr.I32s()}
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
@@ -37,10 +48,12 @@ func Read(r io.Reader, numVertices int) (*Index, error) {
 		sr.Failf("phl label CSR is inconsistent for %d vertices", n)
 		return nil, sr.Err()
 	}
-	for v := 0; v < n; v++ {
-		if x.off[v] > x.off[v+1] {
-			sr.Failf("phl offsets not monotone at %d", v)
-			return nil, sr.Err()
+	if !sr.Aliasing() {
+		for v := 0; v < n; v++ {
+			if x.off[v] > x.off[v+1] {
+				sr.Failf("phl offsets not monotone at %d", v)
+				return nil, sr.Err()
+			}
 		}
 	}
 	return x, nil

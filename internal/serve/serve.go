@@ -205,37 +205,43 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	if category == "" {
 		category = rnknn.DefaultCategory
 	}
-	// The lookup key pins the epoch the reader observed: a hit is an answer
-	// computed from exactly that object set.
-	epoch, err := s.db.Epoch(category)
+	res, pinned, cached, err := s.knnQuery(r.Context(), int32(qv), k, method, category)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	key := cacheKey{vertex: int32(qv), k: int32(k), radius: -1, epoch: epoch, category: category}
-	if res, ok := s.cache.get(key); ok {
-		s.writeKNN(w, key, methodName, res, true, start)
-		return
+	key := cacheKey{vertex: int32(qv), k: int32(k), radius: -1, epoch: pinned, category: category}
+	s.writeKNN(w, key, methodName, res, cached, start)
+}
+
+// knnQuery answers one kNN through the cache and coalescer (the caller
+// holds an admission slot; the sharded front calls it per shard): the
+// lookup key pins the epoch the reader observed, so a hit is an answer
+// computed from exactly that object set; a miss runs single-flight. It
+// returns the epoch stamped on the answer and whether it was served
+// without running a search here (a cache hit or a coalesced follower).
+func (s *Server) knnQuery(ctx context.Context, qv int32, k int, method rnknn.Method, category string) ([]rnknn.Result, uint64, bool, error) {
+	epoch, err := s.db.Epoch(category)
+	if err != nil {
+		return nil, 0, false, err
 	}
-	res, pinned, shared, err := s.co.do(r.Context(), key, func() ([]rnknn.Result, uint64, error) {
+	key := cacheKey{vertex: qv, k: int32(k), radius: -1, epoch: epoch, category: category}
+	if res, ok := s.cache.get(key); ok {
+		return res, epoch, true, nil
+	}
+	return s.co.do(ctx, key, func() ([]rnknn.Result, uint64, error) {
 		if s.gate != nil {
 			s.gate()
 		}
-		res, pinned, err := s.db.KNNPinned(r.Context(), int32(qv), k,
+		res, pinned, err := s.db.KNNPinned(ctx, qv, k,
 			rnknn.WithMethod(method), rnknn.WithCategory(category))
 		if err == nil {
 			// Store under the epoch the search pinned — possibly newer than
 			// the lookup epoch when churn raced this request; never older.
-			s.cache.put(cacheKey{vertex: int32(qv), k: int32(k), radius: -1, epoch: pinned, category: category}, res)
+			s.cache.put(cacheKey{vertex: qv, k: int32(k), radius: -1, epoch: pinned, category: category}, res)
 		}
 		return res, pinned, err
 	})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	key.epoch = pinned
-	s.writeKNN(w, key, methodName, res, shared, start)
 }
 
 func (s *Server) writeKNN(w http.ResponseWriter, key cacheKey, method string, res []rnknn.Result, cached bool, start time.Time) {
@@ -273,33 +279,37 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if category == "" {
 		category = rnknn.DefaultCategory
 	}
-	epoch, err := s.db.Epoch(category)
+	res, pinned, cached, err := s.rangeQuery(r.Context(), int32(qv), int64(radius), category)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	key := cacheKey{vertex: int32(qv), radius: int64(radius), epoch: epoch, category: category}
-	if res, ok := s.cache.get(key); ok {
-		s.writeRange(w, key, res, true, start)
-		return
+	key := cacheKey{vertex: int32(qv), radius: int64(radius), epoch: pinned, category: category}
+	s.writeRange(w, key, res, cached, start)
+}
+
+// rangeQuery is knnQuery's range twin: epoch-keyed lookup, single-flight
+// execution on miss, answer stamped with the pinned epoch.
+func (s *Server) rangeQuery(ctx context.Context, qv int32, radius int64, category string) ([]rnknn.Result, uint64, bool, error) {
+	epoch, err := s.db.Epoch(category)
+	if err != nil {
+		return nil, 0, false, err
 	}
-	res, pinned, shared, err := s.co.do(r.Context(), key, func() ([]rnknn.Result, uint64, error) {
+	key := cacheKey{vertex: qv, radius: radius, epoch: epoch, category: category}
+	if res, ok := s.cache.get(key); ok {
+		return res, epoch, true, nil
+	}
+	return s.co.do(ctx, key, func() ([]rnknn.Result, uint64, error) {
 		if s.gate != nil {
 			s.gate()
 		}
-		res, pinned, err := s.db.RangePinned(r.Context(), int32(qv), rnknn.Dist(radius), rnknn.WithCategory(category))
+		res, pinned, err := s.db.RangePinned(ctx, qv, rnknn.Dist(radius), rnknn.WithCategory(category))
 		if err == nil {
 			// Store under the epoch the search pinned, as /knn does.
-			s.cache.put(cacheKey{vertex: int32(qv), radius: int64(radius), epoch: pinned, category: category}, res)
+			s.cache.put(cacheKey{vertex: qv, radius: radius, epoch: pinned, category: category}, res)
 		}
 		return res, pinned, err
 	})
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	key.epoch = pinned
-	s.writeRange(w, key, res, shared, start)
 }
 
 func (s *Server) writeRange(w http.ResponseWriter, key cacheKey, res []rnknn.Result, cached bool, start time.Time) {

@@ -1,0 +1,244 @@
+// Sharded serving front: the HTTP face of rnknn.OpenSharded. Every shard
+// gets a full Server — its own admission semaphore, epoch-keyed result
+// cache, and coalescer, keyed on that shard's exact epochs — and the front
+// routes /knn and /range through rnknn.ShardedDB's fan-out with the
+// per-shard cached query path plugged in: a shard consulted twice for the
+// same (vertex, k, epoch) answers the second time from its cache, and
+// object churn on one shard invalidates only that shard's entries.
+//
+// Admission is per shard: a query request holds a slot on every shard it
+// actually fans to, so a hot shard sheds load (429) without idling the
+// others, and the geometric pruning means most requests touch only a few
+// shards' semaphores. /monitor and /batch answer 501 — both are
+// per-session/per-plan machinery that a later change can lift to the
+// sharded layer; connect to a single-DB server for them today.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"rnknn/pkg/rnknn"
+)
+
+// errSaturated is returned by a shard's query path when its admission
+// semaphore is full; the front maps it to 429.
+var errSaturated = errors.New("server saturated: max in-flight queries reached")
+
+// ShardedServer serves one rnknn.ShardedDB over HTTP: a front router plus
+// one full Server (admission, cache, coalescer) per shard.
+type ShardedServer struct {
+	sdb    *rnknn.ShardedDB
+	shards []*Server
+	mux    *http.ServeMux
+}
+
+// NewSharded builds a sharded front over sdb. cfg sizes each per-shard
+// Server individually (MaxInFlight and CacheEntries are per shard).
+func NewSharded(sdb *rnknn.ShardedDB, cfg Config) *ShardedServer {
+	fs := &ShardedServer{sdb: sdb}
+	for i := 0; i < sdb.NumShards(); i++ {
+		fs.shards = append(fs.shards, New(sdb.Shard(i), cfg))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", fs.handleHealthz)
+	mux.HandleFunc("GET /stats", fs.handleStats)
+	mux.HandleFunc("GET /knn", fs.handleKNN)
+	mux.HandleFunc("GET /range", fs.handleRange)
+	mux.HandleFunc("GET /monitor", fs.handleUnsupported)
+	mux.HandleFunc("POST /batch", fs.handleUnsupported)
+	mux.HandleFunc("POST /objects/insert", fs.handleObjects(sdb.InsertObjects))
+	mux.HandleFunc("POST /objects/remove", fs.handleObjects(sdb.RemoveObjects))
+	fs.mux = mux
+	return fs
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (fs *ShardedServer) Handler() http.Handler { return fs.mux }
+
+// Shard returns shard i's Server (its stats and counters).
+func (fs *ShardedServer) Shard(i int) *Server { return fs.shards[i] }
+
+func (fs *ShardedServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (fs *ShardedServer) handleUnsupported(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusNotImplemented, ErrorResponse{
+		Error: "not supported on a sharded front; connect to a single-DB server",
+	})
+}
+
+func (fs *ShardedServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := fs.sdb.Graph()
+	out := ShardedStatsResponse{
+		Graph:     GraphJSON{NumVertices: g.NumVertices(), NumEdges: g.NumEdges() / 2, Weights: g.Kind.String()},
+		NumShards: fs.sdb.NumShards(),
+	}
+	for i, s := range fs.shards {
+		n, _ := fs.sdb.Shard(i).NumObjects(rnknn.DefaultCategory)
+		out.Shards = append(out.Shards, ShardStatsJSON{Server: s.Stats(), NumObjects: n})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// shardKNN is the per-shard query the fan-out runs: take that shard's
+// admission slot (or shed), then ride its cache and coalescer.
+func (fs *ShardedServer) shardKNN(r *http.Request, shard int, qv int32, k int, method rnknn.Method, category string, allCached *bool) ([]rnknn.Result, error) {
+	s := fs.shards[shard]
+	if !s.adm.tryAcquire() {
+		return nil, errSaturated
+	}
+	defer s.adm.release()
+	s.requests.Add(1)
+	res, _, cached, err := s.knnQuery(r.Context(), qv, k, method, category)
+	if !cached {
+		*allCached = false // one writer per shard slot; read after the fan joins
+	}
+	return res, err
+}
+
+func (fs *ShardedServer) handleKNN(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	qv, err := intParam(r, "q", -1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	methodName, method, err := methodParam(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	category := r.URL.Query().Get("category")
+	if category == "" {
+		category = rnknn.DefaultCategory
+	}
+	allCached := make([]bool, fs.sdb.NumShards())
+	for i := range allCached {
+		allCached[i] = true
+	}
+	res, err := fs.sdb.FanKNN(r.Context(), int32(qv), k, func(shard int) ([]rnknn.Result, error) {
+		return fs.shardKNN(r, shard, int32(qv), k, method, category, &allCached[shard])
+	})
+	if err != nil {
+		writeShardedError(w, err)
+		return
+	}
+	cached := true
+	for _, c := range allCached {
+		cached = cached && c
+	}
+	// The composite epoch identifies the cross-shard object-set version the
+	// answer reflects (informational — see rnknn.ShardedDB.Epoch).
+	epoch, _ := fs.sdb.Epoch(category)
+	writeJSON(w, http.StatusOK, KNNResponse{
+		Query:         int32(qv),
+		K:             k,
+		Method:        methodName,
+		Category:      category,
+		Epoch:         epoch,
+		Cached:        cached,
+		LatencyMicros: time.Since(start).Microseconds(),
+		Results:       Results(res),
+	})
+}
+
+func (fs *ShardedServer) handleRange(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	qv, err := intParam(r, "q", -1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	radius, err := intParam(r, "radius", -1)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	category := r.URL.Query().Get("category")
+	if category == "" {
+		category = rnknn.DefaultCategory
+	}
+	allCached := make([]bool, fs.sdb.NumShards())
+	for i := range allCached {
+		allCached[i] = true
+	}
+	res, err := fs.sdb.FanRange(r.Context(), int32(qv), rnknn.Dist(radius), func(shard int) ([]rnknn.Result, error) {
+		s := fs.shards[shard]
+		if !s.adm.tryAcquire() {
+			return nil, errSaturated
+		}
+		defer s.adm.release()
+		s.requests.Add(1)
+		rs, _, cached, err := s.rangeQuery(r.Context(), int32(qv), int64(radius), category)
+		if !cached {
+			allCached[shard] = false
+		}
+		return rs, err
+	})
+	if err != nil {
+		writeShardedError(w, err)
+		return
+	}
+	cached := true
+	for _, c := range allCached {
+		cached = cached && c
+	}
+	epoch, _ := fs.sdb.Epoch(category)
+	writeJSON(w, http.StatusOK, RangeResponse{
+		Query:         int32(qv),
+		Radius:        int64(radius),
+		Category:      category,
+		Epoch:         epoch,
+		Cached:        cached,
+		LatencyMicros: time.Since(start).Microseconds(),
+		Results:       Results(res),
+	})
+}
+
+// handleObjects routes one mutation through the ShardedDB (which splits
+// the vertices by owning cell), bypassing admission and caches like the
+// single-DB path — per-shard epochs advance, retiring exactly the
+// affected shards' cache entries.
+func (fs *ShardedServer) handleObjects(mutate func(string, []int32) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req ObjectsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad objects body: " + err.Error()})
+			return
+		}
+		if req.Category == "" {
+			req.Category = rnknn.DefaultCategory
+		}
+		if err := mutate(req.Category, req.Vertices); err != nil {
+			writeError(w, err)
+			return
+		}
+		epoch, err := fs.sdb.Epoch(req.Category)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		n, _ := fs.sdb.NumObjects(req.Category)
+		writeJSON(w, http.StatusOK, ObjectsResponse{Category: req.Category, Epoch: epoch, NumObjects: n})
+	}
+}
+
+// writeShardedError is writeError plus the sharded-only saturation case: a
+// fanned shard refusing admission sheds the whole request.
+func writeShardedError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errSaturated) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeError(w, err)
+}

@@ -179,6 +179,21 @@ type StatsResponse struct {
 	DB     rnknn.Stats `json:"db"`
 }
 
+// ShardedStatsResponse answers GET /stats on a sharded front: the shared
+// graph plus every shard's serving-layer counters.
+type ShardedStatsResponse struct {
+	Graph     GraphJSON        `json:"graph"`
+	NumShards int              `json:"num_shards"`
+	Shards    []ShardStatsJSON `json:"shards"`
+}
+
+// ShardStatsJSON is one shard's contribution to the sharded /stats view:
+// its serving counters and the objects its cell owns (default category).
+type ShardStatsJSON struct {
+	Server     ServerStats `json:"server"`
+	NumObjects int         `json:"num_objects"`
+}
+
 // GraphJSON describes the served road network.
 type GraphJSON struct {
 	NumVertices int    `json:"num_vertices"`

@@ -3,28 +3,45 @@
 // source's Morton list (block starts, first moves, and the conservative
 // lambda bounds as raw IEEE-754 bits, so reloaded intervals are bit-identical
 // to the built ones); the degree-2 chain marks are recomputed from the
-// graph. See docs/SNAPSHOT_FORMAT.md.
+// graph. Layout v2 writes the permutation and CSR 64-byte-aligned and the
+// blocks as one aligned array-of-structs — exactly the in-memory []block
+// layout on little-endian hosts — so a mapped snapshot aliases the entire
+// Morton-list heap with zero copy; v1 payloads (parallel flat arrays) are
+// still read. See docs/SNAPSHOT_FORMAT.md.
 package silc
 
 import (
+	"encoding/binary"
 	"io"
+	"math"
+	"unsafe"
 
 	"rnknn/internal/graph"
 	"rnknn/internal/snapio"
 )
 
 // codecVersion is the SILC section layout version.
-const codecVersion uint16 = 1
+const codecVersion uint16 = 2
+
+// blockSize is the wire size of one block: start i32, first i32, lamLo
+// f32, lamHi f32, little endian — which the compile-time asserts below pin
+// to the in-memory struct layout so the aliased AoS read is sound.
+const blockSize = 16
+
+var (
+	_ [blockSize - unsafe.Sizeof(block{})]byte
+	_ [unsafe.Sizeof(block{}) - blockSize]byte
+)
 
 // WriteTo serializes the index (io.WriterTo).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	sw := snapio.NewWriter(w)
 	sw.U16(codecVersion)
 	sw.Bool(x.ChainOptimization)
-	sw.I32s(x.rank)
-	sw.I32s(x.byRank)
-	// Morton lists as one CSR: per-source offsets, then the block fields as
-	// parallel flat arrays.
+	sw.RawI32s(x.rank)
+	sw.RawI32s(x.byRank)
+	// Morton lists as one CSR: per-source offsets, then the blocks
+	// flattened into a single aligned array-of-structs.
 	n := len(x.trees)
 	off := make([]int32, n+1)
 	total := 0
@@ -32,61 +49,116 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 		total += len(tree)
 		off[s+1] = int32(total)
 	}
-	starts := make([]int32, 0, total)
-	firsts := make([]int32, 0, total)
-	lamLo := make([]float32, 0, total)
-	lamHi := make([]float32, 0, total)
+	blocks := make([]block, 0, total)
 	for _, tree := range x.trees {
-		for _, b := range tree {
-			starts = append(starts, b.start)
-			firsts = append(firsts, b.first)
-			lamLo = append(lamLo, b.lamLo)
-			lamHi = append(lamHi, b.lamHi)
-		}
+		blocks = append(blocks, tree...)
 	}
-	sw.I32s(off)
-	sw.I32s(starts)
-	sw.I32s(firsts)
-	sw.F32s(lamLo)
-	sw.F32s(lamHi)
+	sw.RawI32s(off)
+	sw.U32(uint32(total))
+	sw.Align64()
+	writeBlocks(sw, blocks)
 	return sw.Result()
 }
 
+// writeBlocks emits the raw little-endian AoS bytes: verbatim on
+// little-endian hosts, field-wise elsewhere (identical bytes either way).
+func writeBlocks(sw *snapio.Writer, blocks []block) {
+	if snapio.HostLittleEndian() {
+		if len(blocks) > 0 {
+			sw.RawBytes(unsafe.Slice((*byte)(unsafe.Pointer(&blocks[0])), len(blocks)*blockSize))
+		}
+		return
+	}
+	var scratch [blockSize]byte
+	for i := range blocks {
+		b := &blocks[i]
+		binary.LittleEndian.PutUint32(scratch[0:], uint32(b.start))
+		binary.LittleEndian.PutUint32(scratch[4:], uint32(b.first))
+		binary.LittleEndian.PutUint32(scratch[8:], math.Float32bits(b.lamLo))
+		binary.LittleEndian.PutUint32(scratch[12:], math.Float32bits(b.lamHi))
+		sw.RawBytes(scratch[:])
+	}
+}
+
 // Read deserializes an index written by WriteTo over g, validating the
-// permutation and CSR dimensions and recomputing the chain marks.
-func Read(r io.Reader, g *graph.Graph) (*Index, error) {
-	sr := snapio.NewReader(r)
-	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
-		sr.Failf("silc codec version %d (want %d)", v, codecVersion)
+// permutation and CSR dimensions and recomputing the chain marks. When sr
+// aliases a mapped snapshot, the block heap and permutation arrays are
+// views of the mapping and the per-element scans (permutation bijection,
+// Morton-list monotonicity) are skipped — they would fault in every page;
+// mapped opens trust the snapshot. Dimension checks always run.
+func Read(sr *snapio.Source, g *graph.Graph) (*Index, error) {
+	version := sr.U16()
+	if sr.Err() == nil && version != 1 && version != codecVersion {
+		sr.Failf("silc codec version %d (want 1 or %d)", version, codecVersion)
 	}
 	chainOpt := sr.Bool()
-	rank := sr.I32s()
-	byRank := sr.I32s()
-	off := sr.I32s()
-	starts := sr.I32s()
-	firsts := sr.I32s()
-	lamLo := sr.F32s()
-	lamHi := sr.F32s()
+	var rank, byRank, off []int32
+	var blocks []block
+	if version == 1 {
+		rank = sr.I32s()
+		byRank = sr.I32s()
+		off = sr.I32s()
+		starts := sr.I32s()
+		firsts := sr.I32s()
+		lamLo := sr.F32s()
+		lamHi := sr.F32s()
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		if len(firsts) != len(starts) || len(lamLo) != len(starts) || len(lamHi) != len(starts) {
+			sr.Failf("silc block arrays disagree on length")
+			return nil, sr.Err()
+		}
+		blocks = make([]block, len(starts))
+		for i := range blocks {
+			blocks[i] = block{start: starts[i], first: firsts[i], lamLo: lamLo[i], lamHi: lamHi[i]}
+		}
+	} else {
+		rank = sr.AlignedI32s()
+		byRank = sr.AlignedI32s()
+		off = sr.AlignedI32s()
+		n, raw, aliased := sr.AlignedRaw(blockSize, 4)
+		if sr.Err() != nil {
+			return nil, sr.Err()
+		}
+		switch {
+		case n == 0:
+		case aliased:
+			blocks = unsafe.Slice((*block)(unsafe.Pointer(&raw[0])), n)
+		default:
+			blocks = make([]block, n)
+			for i := range blocks {
+				b := raw[i*blockSize:]
+				blocks[i] = block{
+					start: int32(binary.LittleEndian.Uint32(b[0:])),
+					first: int32(binary.LittleEndian.Uint32(b[4:])),
+					lamLo: math.Float32frombits(binary.LittleEndian.Uint32(b[8:])),
+					lamHi: math.Float32frombits(binary.LittleEndian.Uint32(b[12:])),
+				}
+			}
+		}
+	}
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
 	n := g.NumVertices()
-	total := len(starts)
+	total := len(blocks)
 	switch {
 	case len(rank) != n || len(byRank) != n:
 		sr.Failf("silc permutation has %d/%d entries for %d vertices", len(rank), len(byRank), n)
 	case len(off) != n+1 || off[0] != 0 || int(off[n]) != total:
 		sr.Failf("silc Morton-list CSR is inconsistent")
-	case len(firsts) != total || len(lamLo) != total || len(lamHi) != total:
-		sr.Failf("silc block arrays disagree on length")
 	}
 	if sr.Err() != nil {
 		return nil, sr.Err()
 	}
-	for v := 0; v < n; v++ {
-		if rank[v] < 0 || int(rank[v]) >= n || byRank[rank[v]] != int32(v) {
-			sr.Failf("silc Morton permutation is not a bijection at vertex %d", v)
-			return nil, sr.Err()
+	deep := !sr.Aliasing()
+	if deep {
+		for v := 0; v < n; v++ {
+			if rank[v] < 0 || int(rank[v]) >= n || byRank[rank[v]] != int32(v) {
+				sr.Failf("silc Morton permutation is not a bijection at vertex %d", v)
+				return nil, sr.Err()
+			}
 		}
 	}
 	x := &Index{
@@ -100,33 +172,39 @@ func Read(r io.Reader, g *graph.Graph) (*Index, error) {
 	for v := int32(0); v < int32(n); v++ {
 		x.isChain[v] = g.Degree(v) <= 2
 	}
-	blocks := make([]block, total)
-	for i := range blocks {
-		if firsts[i] < 0 || int(firsts[i]) >= n {
-			sr.Failf("silc first move %d out of range at block %d", firsts[i], i)
-			return nil, sr.Err()
+	if deep {
+		for i := range blocks {
+			if blocks[i].first < 0 || int(blocks[i].first) >= n {
+				sr.Failf("silc first move %d out of range at block %d", blocks[i].first, i)
+				return nil, sr.Err()
+			}
 		}
-		blocks[i] = block{start: starts[i], first: firsts[i], lamLo: lamLo[i], lamHi: lamHi[i]}
 	}
 	for s := 0; s < n; s++ {
 		lo, hi := off[s], off[s+1]
-		if lo > hi {
+		if lo > hi || lo < 0 || int(hi) > total {
 			sr.Failf("silc Morton-list offsets not monotone at %d", s)
 			return nil, sr.Err()
 		}
 		tree := blocks[lo:hi:hi]
-		if len(tree) == 0 || tree[0].start != 0 {
-			sr.Failf("silc source %d has an empty or misaligned Morton list", s)
+		if len(tree) == 0 {
+			sr.Failf("silc source %d has an empty Morton list", s)
 			return nil, sr.Err()
 		}
-		for i := range tree {
-			if i > 0 && tree[i].start <= tree[i-1].start {
-				sr.Failf("silc source %d block starts not increasing", s)
+		if deep {
+			if tree[0].start != 0 {
+				sr.Failf("silc source %d has a misaligned Morton list", s)
 				return nil, sr.Err()
 			}
-			if tree[i].start < 0 || int(tree[i].start) >= n {
-				sr.Failf("silc source %d block start out of range", s)
-				return nil, sr.Err()
+			for i := range tree {
+				if i > 0 && tree[i].start <= tree[i-1].start {
+					sr.Failf("silc source %d block starts not increasing", s)
+					return nil, sr.Err()
+				}
+				if tree[i].start < 0 || int(tree[i].start) >= n {
+					sr.Failf("silc source %d block start out of range", s)
+					return nil, sr.Err()
+				}
 			}
 		}
 		x.trees[s] = tree

@@ -16,7 +16,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 )
+
+// hostLittleEndian reports whether the running machine stores multi-byte
+// integers little endian — the precondition for writing raw array bytes
+// verbatim and for aliasing mapped snapshot bytes as typed slices.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// HostLittleEndian reports whether the running machine is little endian.
+// Codecs with array-of-struct payloads use it to pick between writing the
+// struct bytes verbatim and a field-wise little-endian fallback.
+func HostLittleEndian() bool { return hostLittleEndian }
 
 // ErrCorrupt reports a structurally invalid or truncated byte stream. Codec
 // decode errors wrap it (and internal/snapshot folds it into ErrBadSnapshot).
@@ -127,6 +141,105 @@ func (w *Writer) F32s(vs []float32) {
 	w.U32(uint32(len(vs)))
 	for _, v := range vs {
 		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(v))
+		w.flushIfFull()
+	}
+}
+
+// Offset returns the number of bytes written so far, including buffered
+// bytes not yet flushed. Codecs use it to compute alignment padding
+// relative to the start of their payload.
+func (w *Writer) Offset() int64 { return w.n + int64(len(w.buf)) }
+
+// Align64 pads with zero bytes to the next 64-byte boundary (relative to
+// the start of the stream). Raw array writers call it so the element bytes
+// land 64-byte-aligned when the payload itself starts on a 64-byte file
+// offset — the contract the mmap loader's aliased reads depend on.
+func (w *Writer) Align64() {
+	pad := int((-w.Offset()) & 63)
+	for i := 0; i < pad; i++ {
+		w.buf = append(w.buf, 0)
+	}
+	w.flushIfFull()
+}
+
+// RawBytes writes b verbatim. Large slices bypass the chunk buffer.
+func (w *Writer) RawBytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if len(b) < writerChunk {
+		w.buf = append(w.buf, b...)
+		w.flushIfFull()
+		return
+	}
+	w.Flush()
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.n += int64(len(b))
+}
+
+// RawI32s writes a uint32 count, pads to a 64-byte boundary, then the raw
+// little-endian element bytes — the layout Source.AlignedI32s maps without
+// copying.
+func (w *Writer) RawI32s(vs []int32) {
+	w.U32(uint32(len(vs)))
+	w.Align64()
+	if hostLittleEndian && len(vs) > 0 {
+		w.RawBytes(unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*4))
+		return
+	}
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(v))
+		w.flushIfFull()
+	}
+}
+
+// RawI64s writes a uint32 count, 64-byte padding, then raw little-endian
+// int64 elements (see RawI32s).
+func (w *Writer) RawI64s(vs []int64) {
+	w.U32(uint32(len(vs)))
+	w.Align64()
+	if hostLittleEndian && len(vs) > 0 {
+		w.RawBytes(unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*8))
+		return
+	}
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+		w.flushIfFull()
+	}
+}
+
+// RawF32s writes a uint32 count, 64-byte padding, then raw little-endian
+// float32 elements (see RawI32s).
+func (w *Writer) RawF32s(vs []float32) {
+	w.U32(uint32(len(vs)))
+	w.Align64()
+	if hostLittleEndian && len(vs) > 0 {
+		w.RawBytes(unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*4))
+		return
+	}
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, math.Float32bits(v))
+		w.flushIfFull()
+	}
+}
+
+// RawF64s writes a uint32 count, 64-byte padding, then raw little-endian
+// float64 elements (see RawI32s).
+func (w *Writer) RawF64s(vs []float64) {
+	w.U32(uint32(len(vs)))
+	w.Align64()
+	if hostLittleEndian && len(vs) > 0 {
+		w.RawBytes(unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*8))
+		return
+	}
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
 		w.flushIfFull()
 	}
 }

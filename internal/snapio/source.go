@@ -1,0 +1,279 @@
+// Source: a byte-slice decoder for snapshot payloads. It mirrors Reader's
+// streaming primitives but additionally understands the aligned raw-array
+// layout of the format-v2 mappable sections (Writer.RawI32s and friends):
+// a uint32 count, zero padding to the next 64-byte boundary, then raw
+// little-endian element bytes. In alias mode the Aligned* reads return
+// slices whose backing array IS the source bytes — zero copy, so decoding
+// a section mapped from disk touches only the header pages — and in copy
+// mode (big-endian hosts, misaligned data, or callers that want private
+// memory) they fall back to the same copy-decode the streaming reads use.
+//
+// Aliased slices are views of a read-only mapping when the source came
+// from internal/mapped: writing to them faults. Treat every decoded index
+// as immutable, which they already are.
+package snapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Source decodes primitives from an in-memory byte slice. The first error
+// sticks and subsequent reads return zero values; check Err at the end.
+type Source struct {
+	data  []byte
+	off   int
+	alias bool
+	err   error
+}
+
+// NewSource returns a Source over data. When alias is true (and the host
+// is little endian), Aligned* reads return slices aliasing data instead of
+// copying; data must then outlive everything decoded from it.
+func NewSource(data []byte, alias bool) *Source {
+	return &Source{data: data, alias: alias && hostLittleEndian}
+}
+
+// Err returns the first error encountered, if any.
+func (s *Source) Err() error { return s.err }
+
+// Aliasing reports whether Aligned* reads may return views of the source
+// bytes (alias mode requested and host is little endian).
+func (s *Source) Aliasing() bool { return s.alias }
+
+// Remaining returns the number of undecoded bytes.
+func (s *Source) Remaining() int { return len(s.data) - s.off }
+
+// Failf records a corruption error (used by codecs for semantic checks).
+func (s *Source) Failf(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// take consumes n bytes, failing on truncation.
+func (s *Source) take(n int) []byte {
+	if s.err != nil {
+		return nil
+	}
+	if n < 0 || len(s.data)-s.off < n {
+		s.Failf("need %d bytes at offset %d, have %d", n, s.off, len(s.data)-s.off)
+		return nil
+	}
+	b := s.data[s.off : s.off+n]
+	s.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (s *Source) U8() uint8 {
+	b := s.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool.
+func (s *Source) Bool() bool { return s.U8() != 0 }
+
+// U16 reads a uint16.
+func (s *Source) U16() uint16 {
+	b := s.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a uint32.
+func (s *Source) U32() uint32 {
+	b := s.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (s *Source) U64() uint64 {
+	b := s.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads a slice length prefix and validates that elemSize*count
+// bytes can still follow (padding aside).
+func (s *Source) count(elemSize int) int {
+	n := int(s.U32())
+	if s.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemSize) > int64(s.Remaining()) {
+		s.Failf("length prefix %d exceeds remaining %d bytes", n, s.Remaining())
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (s *Source) String() string {
+	n := s.count(1)
+	if s.err != nil || n == 0 {
+		return ""
+	}
+	return string(s.take(n))
+}
+
+// I32s reads a length-prefixed []int32 written by Writer.I32s.
+func (s *Source) I32s() []int32 {
+	n := s.count(4)
+	if s.err != nil || n == 0 {
+		return nil
+	}
+	b := s.take(n * 4)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// I64s reads a length-prefixed []int64 written by Writer.I64s.
+func (s *Source) I64s() []int64 {
+	n := s.count(8)
+	if s.err != nil || n == 0 {
+		return nil
+	}
+	b := s.take(n * 8)
+	if b == nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// F32s reads a length-prefixed []float32 written by Writer.F32s.
+func (s *Source) F32s() []float32 {
+	n := s.count(4)
+	if s.err != nil || n == 0 {
+		return nil
+	}
+	b := s.take(n * 4)
+	if b == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// align64 skips padding up to the next 64-byte boundary of the stream.
+func (s *Source) align64() {
+	if s.err != nil {
+		return
+	}
+	pad := (-s.off) & 63
+	s.take(pad)
+}
+
+// aligned reports whether p is aligned for loads of the given alignment.
+func aligned(b []byte, align uintptr) bool {
+	return uintptr(unsafe.Pointer(&b[0]))%align == 0
+}
+
+// AlignedRaw reads an array written as count + 64-byte padding + raw
+// little-endian elements of elemSize bytes, returning the element count
+// and the raw bytes. In alias mode (and when the bytes satisfy elemAlign)
+// the returned slice is a view of the source; aliased reports which.
+// Codecs with array-of-struct payloads use this directly; typed arrays use
+// the AlignedI32s-style wrappers.
+func (s *Source) AlignedRaw(elemSize int, elemAlign uintptr) (n int, b []byte, aliased bool) {
+	n = s.count(elemSize)
+	s.align64()
+	if s.err != nil || n == 0 {
+		return 0, nil, false
+	}
+	b = s.take(n * elemSize)
+	if b == nil {
+		return 0, nil, false
+	}
+	return n, b, s.alias && aligned(b, elemAlign)
+}
+
+// AlignedI32s reads a []int32 written by Writer.RawI32s, aliasing the
+// source bytes when possible (see Source).
+func (s *Source) AlignedI32s() []int32 {
+	n, b, ok := s.AlignedRaw(4, 4)
+	if n == 0 {
+		return nil
+	}
+	if ok {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// AlignedI64s reads a []int64 written by Writer.RawI64s.
+func (s *Source) AlignedI64s() []int64 {
+	n, b, ok := s.AlignedRaw(8, 8)
+	if n == 0 {
+		return nil
+	}
+	if ok {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// AlignedF32s reads a []float32 written by Writer.RawF32s.
+func (s *Source) AlignedF32s() []float32 {
+	n, b, ok := s.AlignedRaw(4, 4)
+	if n == 0 {
+		return nil
+	}
+	if ok {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+// AlignedF64s reads a []float64 written by Writer.RawF64s.
+func (s *Source) AlignedF64s() []float64 {
+	n, b, ok := s.AlignedRaw(8, 8)
+	if n == 0 {
+		return nil
+	}
+	if ok {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package snapio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rnknn/internal/snapio"
+)
+
+// buildRawStream writes a mixed scalar/raw-array payload the way index
+// codecs do, returning the encoded bytes.
+func buildRawStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	w.U16(2)
+	w.Bool(true)
+	w.RawI32s([]int32{5, -1, 7, 1 << 30})
+	w.String("tag")
+	w.RawF64s([]float64{0.5, -3.25})
+	w.RawI64s([]int64{1, 2, 3})
+	w.U32(99)
+	w.Flush()
+	if _, err := w.Result(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkStream(t *testing.T, s *snapio.Source) {
+	t.Helper()
+	if v := s.U16(); v != 2 {
+		t.Fatalf("U16 = %d", v)
+	}
+	if !s.Bool() {
+		t.Fatal("Bool = false")
+	}
+	i32s := s.AlignedI32s()
+	if len(i32s) != 4 || i32s[0] != 5 || i32s[1] != -1 || i32s[3] != 1<<30 {
+		t.Fatalf("AlignedI32s = %v", i32s)
+	}
+	if v := s.String(); v != "tag" {
+		t.Fatalf("String = %q", v)
+	}
+	f64s := s.AlignedF64s()
+	if len(f64s) != 2 || f64s[0] != 0.5 || f64s[1] != -3.25 {
+		t.Fatalf("AlignedF64s = %v", f64s)
+	}
+	i64s := s.AlignedI64s()
+	if len(i64s) != 3 || i64s[2] != 3 {
+		t.Fatalf("AlignedI64s = %v", i64s)
+	}
+	if v := s.U32(); v != 99 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", s.Remaining())
+	}
+}
+
+// TestSourceCopyMode decodes the raw-array layout with aliasing off: every
+// array is a private copy, and the values round-trip on any host.
+func TestSourceCopyMode(t *testing.T) {
+	checkStream(t, snapio.NewSource(buildRawStream(t), false))
+}
+
+// TestSourceAliasMode decodes with aliasing on: the same values come back,
+// and on a little-endian host with aligned backing the arrays are views of
+// the input buffer — writing through the decoded slice is visible to a
+// second decode of the same bytes, proving zero-copy.
+func TestSourceAliasMode(t *testing.T) {
+	data := buildRawStream(t)
+	s := snapio.NewSource(data, true)
+	checkStream(t, s)
+
+	if !snapio.HostLittleEndian() {
+		t.Skip("alias views require a little-endian host")
+	}
+	s2 := snapio.NewSource(data, true)
+	if !s2.Aliasing() {
+		t.Fatal("Aliasing() = false on LE host")
+	}
+	s2.U16()
+	s2.Bool()
+	i32s := s2.AlignedI32s()
+	old := i32s[0]
+	i32s[0] = old + 1
+	s3 := snapio.NewSource(data, true)
+	s3.U16()
+	s3.Bool()
+	if again := s3.AlignedI32s(); again[0] != old+1 {
+		t.Fatalf("aliased write not visible: %d want %d", again[0], old+1)
+	}
+	i32s[0] = old
+}
+
+// TestSourceTruncation: a cut-off stream fails with an error instead of
+// panicking, wherever the cut lands.
+func TestSourceTruncation(t *testing.T) {
+	data := buildRawStream(t)
+	for cut := 0; cut < len(data); cut += 7 {
+		s := snapio.NewSource(data[:cut], false)
+		s.U16()
+		s.Bool()
+		s.AlignedI32s()
+		_ = s.String()
+		s.AlignedF64s()
+		s.AlignedI64s()
+		s.U32()
+		if s.Err() == nil {
+			t.Fatalf("cut=%d: no error", cut)
+		}
+	}
+}
+
+// TestSourceCountOverflow: a length prefix implying more bytes than the
+// buffer holds errors out instead of allocating.
+func TestSourceCountOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	w.U32(0xffff_ffff) // absurd element count
+	w.Flush()
+	if _, err := w.Result(); err != nil {
+		t.Fatal(err)
+	}
+	s := snapio.NewSource(buf.Bytes(), false)
+	if out := s.AlignedI32s(); s.Err() == nil || out != nil {
+		t.Fatalf("overflow accepted: %v", s.Err())
+	}
+}
+
+// TestWriterOffsetAlign64 pins the writer-side alignment bookkeeping the
+// raw layout depends on: Offset counts through buffered and flushed bytes,
+// and Align64 lands on 64-byte boundaries.
+func TestWriterOffsetAlign64(t *testing.T) {
+	var buf bytes.Buffer
+	w := snapio.NewWriter(&buf)
+	w.U8(1)
+	if w.Offset() != 1 {
+		t.Fatalf("Offset = %d", w.Offset())
+	}
+	w.Align64()
+	if w.Offset() != 64 {
+		t.Fatalf("Offset after Align64 = %d", w.Offset())
+	}
+	w.RawBytes(bytes.Repeat([]byte{7}, 100))
+	w.Align64()
+	if w.Offset() != 192 {
+		t.Fatalf("Offset = %d, want 192", w.Offset())
+	}
+	w.Flush()
+	if _, err := w.Result(); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != w.Offset() {
+		t.Fatalf("buffer %d bytes, offset %d", buf.Len(), w.Offset())
+	}
+}

@@ -3,15 +3,28 @@
 // byte-level specification and the compatibility policy).
 //
 // A snapshot is: magic "RNKS", a format version, the fingerprint of the
-// graph the indexes were built over, a section table (name, payload length,
-// CRC-32C), and the section payloads. Sections are encoded in parallel
-// across CPU cores at write time and checksum-verified in parallel at read
-// time; the payload bytes themselves are each index's own WriteTo encoding.
+// graph the indexes were built over, a section table (name, declared
+// dependencies, flags, absolute payload offset, payload length, CRC-32C),
+// and the section payloads, each starting on a 64-byte-aligned file
+// offset. Sections are encoded in parallel across CPU cores at write time
+// and checksum-verified in parallel at read time; the payload bytes
+// themselves are each index's own WriteTo encoding.
+//
+// Because every payload starts 64-byte aligned, a payload whose codec
+// emits its arrays with Writer.Align64 padding has those arrays 64-byte
+// aligned in the file — which is what lets Parse hand out payload views of
+// an mmap'ed snapshot that internal codecs alias as typed slices with zero
+// copy (sections flagged Mappable). Format v1 (no alignment, no
+// dependency declarations) is still read transparently.
 //
 // The container knows nothing about index internals: callers (core.Engine)
 // map section names to codecs. Unknown section names are preserved for the
 // caller, which may skip them — that is what lets future snapshots add new
-// index kinds without a format-version bump.
+// index kinds without a format-version bump. A section's declared
+// dependencies, however, are validated here: each must name a section that
+// appears earlier in the table, so cross-section decode ordering (TNR
+// needs CH's hierarchy) is a checked property of the file rather than a
+// writer convention.
 package snapshot
 
 import (
@@ -31,18 +44,27 @@ import (
 // Magic starts every snapshot file.
 const Magic = "RNKS"
 
-// Version is the container format version this package writes and the only
-// one it reads.
-const Version = 1
+// Version is the container format version this package writes. Read and
+// Parse also accept VersionV1 snapshots (written by older binaries).
+const Version = 2
+
+// VersionV1 is the original container format: no payload alignment, no
+// dependency declarations, no mappable flag.
+const VersionV1 = 1
 
 // maxSections bounds the section table so a corrupt count cannot drive a
 // huge allocation.
 const maxSections = 64
 
+// FlagMappable marks a section whose payload uses the aligned raw-array
+// layout (snapio Writer.Raw*), safe to alias from an mmap'ed file.
+const FlagMappable = uint32(1 << 0)
+
 var (
 	// ErrBadSnapshot reports a snapshot that is not parseable: wrong magic,
-	// unsupported version, truncated data, a checksum mismatch, or a section
-	// payload its codec rejects.
+	// unsupported version, truncated data, a checksum mismatch, a section
+	// dependency that is missing or out of order, or a section payload its
+	// codec rejects.
 	ErrBadSnapshot = errors.New("snapshot: malformed or corrupt snapshot")
 	// ErrFingerprintMismatch reports a structurally valid snapshot whose
 	// indexes were built over a different graph than the one being loaded.
@@ -91,21 +113,35 @@ func Fingerprint(g *graph.Graph) uint64 {
 }
 
 // Section is one named payload to write: Encode streams the index's bytes.
+// Deps names sections this one needs decoded first; Write records them in
+// the table and readers enforce that each appears earlier. Mappable marks
+// payloads laid out with aligned raw arrays (safe to alias when mapped).
 type Section struct {
-	Name   string
-	Encode func(w io.Writer) error
+	Name     string
+	Encode   func(w io.Writer) error
+	Deps     []string
+	Mappable bool
 }
 
-// Payload is one named section read back from a snapshot, checksum-verified.
+// Payload is one named section read back from a snapshot. Read verifies
+// checksums; Parse leaves verification to the caller's choice (an mmap'ed
+// open skips it — checksumming would fault in every page). Data aliases
+// the parsed buffer when Parse produced it.
 type Payload struct {
-	Name string
-	Data []byte
+	Name     string
+	Data     []byte
+	Mappable bool
 }
+
+// align64 rounds n up to the next multiple of 64.
+func align64(n uint64) uint64 { return (n + 63) &^ 63 }
 
 // Write encodes every section (in parallel, one goroutine per section — the
 // Go scheduler spreads them across cores) and frames them into w with the
 // graph fingerprint. Section names must be unique, non-empty, and at most
-// 255 bytes.
+// 255 bytes. Section order is preserved verbatim — including a Deps order
+// violation, which readers reject; callers are responsible for appending
+// dependencies before dependents.
 func Write(w io.Writer, fingerprint uint64, sections []Section) error {
 	if len(sections) > maxSections {
 		return fmt.Errorf("%w: %d sections exceeds the limit of %d", ErrBadSnapshot, len(sections), maxSections)
@@ -116,6 +152,14 @@ func Write(w io.Writer, fingerprint uint64, sections []Section) error {
 			return fmt.Errorf("%w: invalid or duplicate section name %q", ErrBadSnapshot, s.Name)
 		}
 		seen[s.Name] = true
+		if len(s.Deps) > 255 {
+			return fmt.Errorf("%w: section %q declares %d dependencies", ErrBadSnapshot, s.Name, len(s.Deps))
+		}
+		for _, d := range s.Deps {
+			if d == "" || len(d) > 255 {
+				return fmt.Errorf("%w: section %q has invalid dependency name %q", ErrBadSnapshot, s.Name, d)
+			}
+		}
 	}
 
 	bufs := make([]bytes.Buffer, len(sections))
@@ -135,6 +179,25 @@ func Write(w io.Writer, fingerprint uint64, sections []Section) error {
 		}
 	}
 
+	// The header size is known exactly up front, so payload offsets can be
+	// assigned before anything is written: each payload starts at the next
+	// 64-byte boundary after its predecessor (or after the header).
+	headerLen := uint64(4 + 4 + 8 + 4)
+	for _, s := range sections {
+		headerLen += 1 + uint64(len(s.Name)) + 1
+		for _, d := range s.Deps {
+			headerLen += 1 + uint64(len(d))
+		}
+		headerLen += 4 + 8 + 8 + 4 // flags, offset, length, crc
+	}
+	offsets := make([]uint64, len(sections))
+	pos := headerLen
+	for i := range sections {
+		pos = align64(pos)
+		offsets[i] = pos
+		pos += uint64(bufs[i].Len())
+	}
+
 	var hdr bytes.Buffer
 	hdr.WriteString(Magic)
 	le := binary.LittleEndian
@@ -147,18 +210,183 @@ func Write(w io.Writer, fingerprint uint64, sections []Section) error {
 	for i, s := range sections {
 		hdr.WriteByte(byte(len(s.Name)))
 		hdr.WriteString(s.Name)
+		hdr.WriteByte(byte(len(s.Deps)))
+		for _, d := range s.Deps {
+			hdr.WriteByte(byte(len(d)))
+			hdr.WriteString(d)
+		}
+		var flags uint32
+		if s.Mappable {
+			flags |= FlagMappable
+		}
+		u32(flags)
+		u64(offsets[i])
 		u64(uint64(bufs[i].Len()))
 		u32(crc32.Checksum(bufs[i].Bytes(), castagnoli))
+	}
+	if uint64(hdr.Len()) != headerLen {
+		return fmt.Errorf("snapshot: internal error: header is %d bytes, computed %d", hdr.Len(), headerLen)
 	}
 	if _, err := w.Write(hdr.Bytes()); err != nil {
 		return err
 	}
+	var pad [64]byte
+	written := headerLen
 	for i := range bufs {
+		if offsets[i] > written {
+			if _, err := w.Write(pad[:offsets[i]-written]); err != nil {
+				return err
+			}
+			written = offsets[i]
+		}
 		if _, err := w.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
+		written += uint64(bufs[i].Len())
 	}
 	return nil
+}
+
+// tableEntry is one parsed section-table row; offsets are absolute file
+// offsets (synthesized for v1 snapshots, whose payloads are contiguous).
+type tableEntry struct {
+	name     string
+	deps     []string
+	mappable bool
+	off      uint64
+	size     uint64
+	crc      uint32
+}
+
+// countingReader tracks how many bytes have been consumed, giving
+// readHeader the header length for synthesizing v1 offsets.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// readHeader parses the fixed header and section table from r (both format
+// versions) and returns the fingerprint, the entries with absolute payload
+// offsets, and the header length in bytes. Dependencies are validated
+// here: each must name a section earlier in the table.
+func readHeader(rr io.Reader) (fp uint64, entries []tableEntry, headerLen uint64, err error) {
+	r := &countingReader{r: rr}
+	var hdr [4 + 4 + 8 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, 0, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
+	}
+	if string(hdr[:4]) != Magic {
+		return 0, nil, 0, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, hdr[:4])
+	}
+	le := binary.LittleEndian
+	version := le.Uint32(hdr[4:8])
+	if version != VersionV1 && version != Version {
+		return 0, nil, 0, fmt.Errorf("%w: unsupported format version %d (want %d or %d)", ErrBadSnapshot, version, VersionV1, Version)
+	}
+	fp = le.Uint64(hdr[8:16])
+	count := int(le.Uint32(hdr[16:20]))
+	if count < 0 || count > maxSections {
+		return 0, nil, 0, fmt.Errorf("%w: implausible section count %d", ErrBadSnapshot, count)
+	}
+
+	var scratch [8]byte
+	readN := func(n int) ([]byte, error) {
+		if _, err := io.ReadFull(r, scratch[:n]); err != nil {
+			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
+		}
+		return scratch[:n], nil
+	}
+	readName := func() (string, error) {
+		b, err := readN(1)
+		if err != nil {
+			return "", err
+		}
+		name := make([]byte, b[0])
+		if _, err := io.ReadFull(r, name); err != nil {
+			return "", fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
+		}
+		return string(name), nil
+	}
+
+	entries = make([]tableEntry, count)
+	position := make(map[string]int, count)
+	for i := range entries {
+		e := &entries[i]
+		if e.name, err = readName(); err != nil {
+			return 0, nil, 0, err
+		}
+		if e.name == "" {
+			return 0, nil, 0, fmt.Errorf("%w: empty section name at entry %d", ErrBadSnapshot, i)
+		}
+		if _, dup := position[e.name]; dup {
+			return 0, nil, 0, fmt.Errorf("%w: duplicate section %q", ErrBadSnapshot, e.name)
+		}
+		if version >= Version {
+			b, err := readN(1)
+			if err != nil {
+				return 0, nil, 0, err
+			}
+			ndeps := int(b[0])
+			for d := 0; d < ndeps; d++ {
+				dep, err := readName()
+				if err != nil {
+					return 0, nil, 0, err
+				}
+				if _, ok := position[dep]; !ok {
+					return 0, nil, 0, fmt.Errorf("%w: section %q depends on %q, which does not appear earlier in the table", ErrBadSnapshot, e.name, dep)
+				}
+				e.deps = append(e.deps, dep)
+			}
+			if b, err = readN(4); err != nil {
+				return 0, nil, 0, err
+			}
+			e.mappable = le.Uint32(b)&FlagMappable != 0
+			if b, err = readN(8); err != nil {
+				return 0, nil, 0, err
+			}
+			e.off = le.Uint64(b)
+		}
+		b, err := readN(8)
+		if err != nil {
+			return 0, nil, 0, err
+		}
+		e.size = le.Uint64(b)
+		if e.size > 1<<40 {
+			return 0, nil, 0, fmt.Errorf("%w: implausible section size %d", ErrBadSnapshot, e.size)
+		}
+		if b, err = readN(4); err != nil {
+			return 0, nil, 0, err
+		}
+		e.crc = le.Uint32(b)
+		position[e.name] = i
+	}
+	headerLen = r.n
+
+	if version == VersionV1 {
+		// v1 payloads are contiguous, in table order, immediately after the
+		// header; synthesize the absolute offsets v2 records explicitly.
+		pos := headerLen
+		for i := range entries {
+			entries[i].off = pos
+			pos += entries[i].size
+		}
+	} else {
+		pos := headerLen
+		for i := range entries {
+			e := &entries[i]
+			if e.off < pos || e.off > 1<<40 {
+				return 0, nil, 0, fmt.Errorf("%w: section %q offset %d overlaps preceding data", ErrBadSnapshot, e.name, e.off)
+			}
+			pos = e.off + e.size
+		}
+	}
+	return fp, entries, headerLen, nil
 }
 
 // readPayload reads one section payload of the declared size in bounded
@@ -166,9 +394,6 @@ func Write(w io.Writer, fingerprint uint64, sections []Section) error {
 // at most one chunk of over-allocation before the truncated stream surfaces
 // as ErrBadSnapshot — never an OOM-sized make.
 func readPayload(r io.Reader, name string, size uint64) ([]byte, error) {
-	if size > 1<<40 {
-		return nil, fmt.Errorf("%w: implausible section size %d", ErrBadSnapshot, size)
-	}
 	const chunk = 1 << 22 // 4 MiB
 	data := make([]byte, 0, min(size, chunk))
 	for remaining := size; remaining > 0; {
@@ -183,67 +408,10 @@ func readPayload(r io.Reader, name string, size uint64) ([]byte, error) {
 	return data, nil
 }
 
-// Read parses a snapshot, rejects it unless its fingerprint equals
-// fingerprint, and returns the sections with checksums verified (in
-// parallel). Section payloads are fully materialized in memory — they decode
-// into in-memory indexes anyway.
-func Read(r io.Reader, fingerprint uint64) ([]Payload, error) {
-	var hdr [4 + 4 + 8 + 4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
-	}
-	if string(hdr[:4]) != Magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, hdr[:4])
-	}
-	le := binary.LittleEndian
-	if v := le.Uint32(hdr[4:8]); v != Version {
-		return nil, fmt.Errorf("%w: unsupported format version %d (want %d)", ErrBadSnapshot, v, Version)
-	}
-	if fp := le.Uint64(hdr[8:16]); fp != fingerprint {
-		return nil, fmt.Errorf("%w: snapshot %016x vs graph %016x", ErrFingerprintMismatch, fp, fingerprint)
-	}
-	count := int(le.Uint32(hdr[16:20]))
-	if count < 0 || count > maxSections {
-		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadSnapshot, count)
-	}
-
-	type entry struct {
-		name string
-		size uint64
-		crc  uint32
-	}
-	entries := make([]entry, count)
-	var scratch [8]byte
-	for i := range entries {
-		if _, err := io.ReadFull(r, scratch[:1]); err != nil {
-			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
-		}
-		name := make([]byte, scratch[0])
-		if _, err := io.ReadFull(r, name); err != nil {
-			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
-		}
-		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
-			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
-		}
-		entries[i].name = string(name)
-		entries[i].size = le.Uint64(scratch[:8])
-		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
-			return nil, fmt.Errorf("%w: short section table: %v", ErrBadSnapshot, err)
-		}
-		entries[i].crc = le.Uint32(scratch[:4])
-	}
-
-	payloads := make([]Payload, count)
-	for i, e := range entries {
-		data, err := readPayload(r, e.name, e.size)
-		if err != nil {
-			return nil, err
-		}
-		payloads[i] = Payload{Name: e.name, Data: data}
-	}
-
-	// Verify checksums in parallel, one goroutine per section.
-	errs := make([]error, count)
+// verifyCRCs checks every payload's checksum in parallel, one goroutine
+// per section.
+func verifyCRCs(payloads []Payload, entries []tableEntry) error {
+	errs := make([]error, len(payloads))
 	var wg sync.WaitGroup
 	for i := range payloads {
 		wg.Add(1)
@@ -257,8 +425,70 @@ func Read(r io.Reader, fingerprint uint64) ([]Payload, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
+
+// Read parses a snapshot, rejects it unless its fingerprint equals
+// fingerprint, and returns the sections with checksums verified (in
+// parallel). Section payloads are fully materialized in memory — they
+// decode into in-memory indexes anyway. For zero-copy access to an
+// mmap'ed snapshot, use Parse instead.
+func Read(r io.Reader, fingerprint uint64) ([]Payload, error) {
+	fp, entries, headerLen, err := readHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	if fp != fingerprint {
+		return nil, fmt.Errorf("%w: snapshot %016x vs graph %016x", ErrFingerprintMismatch, fp, fingerprint)
+	}
+	payloads := make([]Payload, len(entries))
+	pos := headerLen
+	for i, e := range entries {
+		if e.off > pos {
+			// Alignment padding between sections (v2).
+			if _, err := io.CopyN(io.Discard, r, int64(e.off-pos)); err != nil {
+				return nil, fmt.Errorf("%w: truncated padding before section %s: %v", ErrBadSnapshot, e.name, err)
+			}
+			pos = e.off
+		}
+		data, err := readPayload(r, e.name, e.size)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = Payload{Name: e.name, Data: data, Mappable: e.mappable}
+		pos += e.size
+	}
+	if err := verifyCRCs(payloads, entries); err != nil {
+		return nil, err
+	}
 	return payloads, nil
+}
+
+// Parse reads a snapshot already materialized (or mapped) as one byte
+// slice and returns its fingerprint and sections, with each payload a view
+// of data — no copies. With verify set, checksums are validated (in
+// parallel) as Read does; a caller opening an mmap'ed snapshot passes
+// false, since checksumming would fault in every page and defeat the
+// O(page-faults) warm start — mapped opens trust the file.
+func Parse(data []byte, verify bool) (uint64, []Payload, error) {
+	fp, entries, _, err := readHeader(bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, err
+	}
+	payloads := make([]Payload, len(entries))
+	for i, e := range entries {
+		if e.off+e.size > uint64(len(data)) {
+			return 0, nil, fmt.Errorf("%w: section %s [%d, %d) exceeds snapshot size %d", ErrBadSnapshot, e.name, e.off, e.off+e.size, len(data))
+		}
+		payloads[i] = Payload{Name: e.name, Data: data[e.off : e.off+e.size], Mappable: e.mappable}
+	}
+	if verify {
+		if err := verifyCRCs(payloads, entries); err != nil {
+			return 0, nil, err
+		}
+	}
+	return fp, payloads, nil
 }

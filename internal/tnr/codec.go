@@ -2,7 +2,9 @@
 // lists, and local cones. The transit marker array is derived from the
 // serialized id map; the contraction hierarchy is not duplicated — the
 // caller supplies the (already loaded or built) ch.Index, mirroring how
-// Build shares it. See docs/SNAPSHOT_FORMAT.md.
+// Build shares it. Layout v2 writes every array 64-byte-aligned (snapio
+// raw-array layout) so a mapped snapshot aliases them with zero copy; v1
+// payloads (element-streamed) are still read. See docs/SNAPSHOT_FORMAT.md.
 package tnr
 
 import (
@@ -13,42 +15,56 @@ import (
 )
 
 // codecVersion is the TNR section layout version.
-const codecVersion uint16 = 1
+const codecVersion uint16 = 2
 
 // WriteTo serializes the index (io.WriterTo).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	sw := snapio.NewWriter(w)
 	sw.U16(codecVersion)
 	sw.U32(uint32(x.numT))
-	sw.I32s(x.transitID)
-	sw.I64s(x.table)
-	sw.I32s(x.accOff)
-	sw.I32s(x.accID)
-	sw.I64s(x.accD)
-	sw.I32s(x.coneOff)
-	sw.I32s(x.coneV)
-	sw.I64s(x.coneD)
+	sw.RawI32s(x.transitID)
+	sw.RawI64s(x.table)
+	sw.RawI32s(x.accOff)
+	sw.RawI32s(x.accID)
+	sw.RawI64s(x.accD)
+	sw.RawI32s(x.coneOff)
+	sw.RawI32s(x.coneV)
+	sw.RawI64s(x.coneD)
 	return sw.Result()
 }
 
 // Read deserializes an index written by WriteTo over the given hierarchy
-// (the same sharing Build uses), validating table and CSR dimensions.
-func Read(r io.Reader, hierarchy *ch.Index) (*Index, error) {
-	sr := snapio.NewReader(r)
-	if v := sr.U16(); sr.Err() == nil && v != codecVersion {
-		sr.Failf("tnr codec version %d (want %d)", v, codecVersion)
-	}
-	x := &Index{
-		hierarchy: hierarchy,
-		numT:      int(sr.U32()),
-		transitID: sr.I32s(),
-		table:     sr.I64s(),
-		accOff:    sr.I32s(),
-		accID:     sr.I32s(),
-		accD:      sr.I64s(),
-		coneOff:   sr.I32s(),
-		coneV:     sr.I32s(),
-		coneD:     sr.I64s(),
+// (the same sharing Build uses), validating table and CSR dimensions. When
+// sr aliases a mapped snapshot the arrays are views of the mapping and the
+// per-element range scans are skipped (dimensions are still checked); the
+// derived isTransit markers are rebuilt either way — they are bools, not
+// part of the serialized layout.
+func Read(sr *snapio.Source, hierarchy *ch.Index) (*Index, error) {
+	x := &Index{hierarchy: hierarchy}
+	switch v := sr.U16(); {
+	case sr.Err() != nil:
+	case v == 1:
+		x.numT = int(sr.U32())
+		x.transitID = sr.I32s()
+		x.table = sr.I64s()
+		x.accOff = sr.I32s()
+		x.accID = sr.I32s()
+		x.accD = sr.I64s()
+		x.coneOff = sr.I32s()
+		x.coneV = sr.I32s()
+		x.coneD = sr.I64s()
+	case v == codecVersion:
+		x.numT = int(sr.U32())
+		x.transitID = sr.AlignedI32s()
+		x.table = sr.AlignedI64s()
+		x.accOff = sr.AlignedI32s()
+		x.accID = sr.AlignedI32s()
+		x.accD = sr.AlignedI64s()
+		x.coneOff = sr.AlignedI32s()
+		x.coneV = sr.AlignedI32s()
+		x.coneD = sr.AlignedI64s()
+	default:
+		sr.Failf("tnr codec version %d (want 1 or %d)", v, codecVersion)
 	}
 	if sr.Err() != nil {
 		return nil, sr.Err()
@@ -76,16 +92,18 @@ func Read(r io.Reader, hierarchy *ch.Index) (*Index, error) {
 		}
 		x.isTransit[v] = id >= 0
 	}
-	for i, id := range x.accID {
-		if id < 0 || int(id) >= m {
-			sr.Failf("tnr access node %d out of range at entry %d", id, i)
-			return nil, sr.Err()
+	if !sr.Aliasing() {
+		for i, id := range x.accID {
+			if id < 0 || int(id) >= m {
+				sr.Failf("tnr access node %d out of range at entry %d", id, i)
+				return nil, sr.Err()
+			}
 		}
-	}
-	for i, v := range x.coneV {
-		if v < 0 || int(v) >= n {
-			sr.Failf("tnr cone vertex %d out of range at entry %d", v, i)
-			return nil, sr.Err()
+		for i, v := range x.coneV {
+			if v < 0 || int(v) >= n {
+				sr.Failf("tnr cone vertex %d out of range at entry %d", v, i)
+				return nil, sr.Err()
+			}
 		}
 	}
 	return x, nil

@@ -80,6 +80,7 @@ import (
 	"rnknn/internal/core"
 	"rnknn/internal/graph"
 	"rnknn/internal/knn"
+	"rnknn/internal/mapped"
 	"rnknn/internal/partition"
 	"rnknn/internal/planner"
 )
@@ -111,6 +112,15 @@ type config struct {
 	// snapshotR, when non-nil, warm-starts Open from a snapshot
 	// (OpenFromSnapshot).
 	snapshotR io.Reader
+	// mmap selects the zero-copy load path for file-backed snapshots
+	// (WithMmap).
+	mmap bool
+	// snap, when non-nil, is an already-opened snapshot whose bytes Open
+	// loads directly (OpenSnapshotFile); seedFP carries its container
+	// fingerprint so the engine never recomputes it from mapped pages.
+	snap      *mapped.Snapshot
+	seedFP    uint64
+	seedFPSet bool
 }
 
 type initialObjects struct {
@@ -186,6 +196,10 @@ type DB struct {
 	// queries by, built lazily by batchPartition on the first batch.
 	batchPTOnce sync.Once
 	batchPT     *partition.Tree
+
+	// mapped, when non-nil, is the snapshot mapping this DB's graph and/or
+	// indexes alias (WithMmap, OpenSnapshotFile); released by Close.
+	mapped *mapped.Snapshot
 }
 
 // batchPartition returns the partition tree batch grouping keys on: the
@@ -243,18 +257,54 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 	}
 	db.eng = core.New(g)
 	db.eng.Opts = cfg.opts
-	if cfg.snapshotR != nil {
-		if err := db.eng.LoadIndexes(cfg.snapshotR); err != nil {
+	if cfg.seedFPSet {
+		db.eng.SeedFingerprint(cfg.seedFP)
+	}
+	// On any error below, an established mapping must be released before
+	// the DB it was opened for is abandoned.
+	fail := func(err error) (*DB, error) {
+		_ = db.mapped.Close()
+		return nil, err
+	}
+	switch {
+	case cfg.snap != nil:
+		// OpenSnapshotFile: the snapshot is already open (and usually
+		// mapped); graph and mappable indexes alias its bytes.
+		db.mapped = cfg.snap
+		if err := db.eng.LoadIndexesData(cfg.snap.Data, cfg.snap.Mapped); err != nil {
+			return fail(err)
+		}
+	case cfg.snapshotR != nil:
+		f, isFile := cfg.snapshotR.(*os.File)
+		if cfg.mmap && isFile {
+			ms, err := mapped.OpenFile(f)
+			if err != nil {
+				return nil, err
+			}
+			db.mapped = ms
+			if err := db.eng.LoadIndexesData(ms.Data, ms.Mapped); err != nil {
+				return fail(err)
+			}
+		} else if err := db.eng.LoadIndexes(cfg.snapshotR); err != nil {
 			return nil, err
 		}
 	}
 	var cachePath string
 	if cfg.cacheDir != "" {
 		if err := os.MkdirAll(cfg.cacheDir, 0o755); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		cachePath = cacheFilePath(cfg.cacheDir, g, db.eng.Fingerprint())
-		if f, err := os.Open(cachePath); err == nil {
+		if cfg.mmap && db.mapped == nil {
+			// Best effort, like the streamed load below.
+			if ms, err := mapped.Open(cachePath); err == nil {
+				if db.eng.LoadIndexesData(ms.Data, ms.Mapped) == nil {
+					db.mapped = ms
+				} else {
+					_ = ms.Close()
+				}
+			}
+		} else if f, err := os.Open(cachePath); err == nil {
 			// Best effort: a missing, corrupt, or mismatched cache file just
 			// means the builds below run and refresh it.
 			_ = db.eng.LoadIndexes(f)
@@ -285,7 +335,7 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 	}
 	for _, o := range cfg.objects {
 		if err := db.RegisterObjects(o.name, o.vertices); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	return db, nil

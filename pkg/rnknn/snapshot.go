@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"rnknn/internal/core"
+	"rnknn/internal/mapped"
 	"rnknn/internal/snapshot"
 )
 
@@ -52,6 +54,63 @@ func WithIndexCache(dir string) Option {
 func OpenFromSnapshot(g *Graph, r io.Reader, opts ...Option) (*DB, error) {
 	opts = append(append([]Option(nil), opts...), func(c *config) { c.snapshotR = r })
 	return Open(g, opts...)
+}
+
+// WithMmap selects the zero-copy snapshot load path: when the snapshot
+// source is a file (OpenFromSnapshot with an *os.File, the WithIndexCache
+// file, or OpenSnapshotFile — which implies it), the file is mmap'ed
+// read-only and every mappable section decodes into slices that alias the
+// mapping. Warm start becomes O(pages touched) instead of O(bytes
+// decoded), and all processes (or shard DBs) opening the same snapshot
+// share one physical copy of it in the page cache.
+//
+// The trade: a mapped open skips checksum verification and the
+// per-element validation scans (each would fault in every page, paying
+// the full decode cost the mapping exists to avoid), so it trusts the
+// snapshot file — appropriate for snapshots the deployment wrote itself.
+// Close the DB when done to release the mapping; on platforms without
+// mmap the flag quietly degrades to the ordinary verified decode.
+func WithMmap() Option {
+	return func(c *config) { c.mmap = true }
+}
+
+// OpenSnapshotFile opens a DB directly from a self-contained snapshot
+// file written by SaveIndexesFile or cmd/buildindex — no graph argument:
+// the snapshot's own Graph section supplies the road network, mapped
+// zero-copy alongside the indexes (see WithMmap, which this implies).
+// This is the continental-scale entry point: opening a multi-gigabyte
+// snapshot costs page faults, not a decode of every byte, and N replicas
+// of one snapshot cost one page cache, not N heaps.
+func OpenSnapshotFile(path string, opts ...Option) (*DB, error) {
+	ms, err := mapped.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g, fp, err := core.LoadGraphData(ms.Data, ms.Mapped)
+	if err != nil {
+		_ = ms.Close()
+		return nil, err
+	}
+	opts = append(append([]Option(nil), opts...), func(c *config) {
+		c.snap = ms
+		c.seedFP = fp
+		c.seedFPSet = true
+	})
+	db, err := Open(g, opts...)
+	if err != nil {
+		// Open released the mapping on its own failure paths.
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close releases resources the DB holds beyond ordinary heap — today the
+// snapshot mapping established by WithMmap or OpenSnapshotFile. Call it
+// only after every query, monitor, and batch has completed: indexes
+// decoded from the mapping alias it, and touching them afterwards faults.
+// Close is idempotent; a DB without a mapping closes to nil trivially.
+func (db *DB) Close() error {
+	return db.mapped.Close()
 }
 
 // SaveIndexes writes every index the DB has built as one snapshot. Indexes
